@@ -1,0 +1,92 @@
+"""E2 — Lemma 16: PARTIAL-AGREEMENT under equivocated key announcements.
+
+The adversary cuts a victim off during the refreshment phase and delivers
+*different* fabricated public keys in the victim's name to different
+halves of the network (the clear-text announcement step is the only
+unauthenticated message in the protocol, so this is the strongest
+equivocation available without breaking nodes).
+
+Lemma 16's guarantee, measured: across every honest node, the
+PARTIAL-AGREEMENT outputs for the victim's session take at most one
+non-``φ`` value — so at most one (fake or real) key can ever be
+certified — and the cut-off victim alerts.
+"""
+
+import pytest
+
+from repro.core.uls import NEWKEY_CHANNEL
+from repro.sim.adversary_api import Adversary, faithful_delivery
+from repro.sim.clock import Phase
+
+from common import GROUP, SCHEME, build_uls_network, emit, format_table
+
+
+class KeySplitAdversary(Adversary):
+    """Cut the victim off from the given unit on; at each refresh
+    announcement round, deliver fake key A to the first half of the other
+    nodes and fake key B to the rest."""
+
+    def __init__(self, victim: int, from_unit: int = 1) -> None:
+        self.victim = victim
+        self.from_unit = from_unit
+
+    def deliver(self, api, info, traffic):
+        if info.time_unit < self.from_unit:
+            return faithful_delivery(traffic, api.n)
+        plan = {i: [] for i in range(api.n)}
+        for envelope in traffic:
+            if self.victim in (envelope.sender, envelope.receiver):
+                continue
+            plan[envelope.receiver].append(envelope)
+        if info.phase is Phase.REFRESH and info.is_phase_start:
+            fake_a = SCHEME.key_repr(SCHEME.generate(api.rng).verify_key)
+            fake_b = SCHEME.key_repr(SCHEME.generate(api.rng).verify_key)
+            others = [i for i in range(api.n) if i != self.victim]
+            half = len(others) // 2
+            for idx, receiver in enumerate(others):
+                fake = fake_a if idx < half else fake_b
+                plan[receiver].append(api.forge_envelope(
+                    self.victim, receiver, NEWKEY_CHANNEL,
+                    ("newkey", info.time_unit, fake)))
+        return plan
+
+
+def run_split(n: int, t: int, seed: int):
+    victim = n - 1
+    adversary = KeySplitAdversary(victim=victim, from_unit=1)
+    public, programs, runner, schedule = build_uls_network(n, t, seed, adversary)
+    execution = runner.run(units=2)
+    # collect every node's PA decision for the victim's unit-1 session
+    decisions = set()
+    for i, program in enumerate(programs):
+        if i == victim:
+            continue
+        session = program.core.pa.sessions.get(("pa", 1, victim))
+        if session is None:
+            continue
+        value = program.core.pa._step5(session)
+        if value is not None:
+            decisions.add(tuple(value))
+    alerts = execution.alerts_in_unit(victim, 1)
+    return decisions, alerts
+
+
+@pytest.fixture(scope="module")
+def table():
+    rows = []
+    for n, t in ((5, 2), (7, 3), (9, 4)):
+        for seed in range(3):
+            decisions, alerts = run_split(n, t, seed)
+            rows.append((n, t, seed, len(decisions), alerts))
+            assert len(decisions) <= 1, "Lemma 16 violated: two non-phi PA outputs"
+            assert alerts >= 1, "cut-off victim must alert"
+    return rows
+
+
+def test_e2_partial_agreement_consistency(table, benchmark):
+    emit("e2_agreement", format_table(
+        "E2  PARTIAL-AGREEMENT under equivocated announcements (Lemma 16)",
+        ["n", "t", "seed", "distinct non-phi PA outputs", "victim alerts"],
+        table,
+    ))
+    benchmark(lambda: run_split(5, 2, 99))

@@ -1,0 +1,90 @@
+"""E5 — the §1.3 strawman vs. ULS under the identical cut-off attack.
+
+The paper's motivating comparison.  Expected shape:
+
+- **naive** (sign the new key with the old key): the adversary hijacks the
+  victim's key chain with one stolen key; impersonation succeeds in every
+  later unit; the victim never alerts.
+- **ULS/Λ**: zero successful impersonations after the break-in unit; the
+  victim alerts in every cut-off unit.
+"""
+
+import pytest
+
+from repro.adversary.impersonation import UlsImpersonator
+from repro.adversary.strategies import CutOffAdversary
+from repro.core.authenticator import compile_protocol
+from repro.core.naive import NaiveImpersonator, NaiveProgram
+from repro.core.uls import build_uls_states, uls_schedule
+from repro.core.views import impersonations
+from repro.sim.clock import Phase, Schedule
+from repro.sim.messages import Envelope
+from repro.sim.node import NodeContext, NodeProgram
+from repro.sim.runner import ULRunner
+
+from common import GROUP, SCHEME, emit, format_table
+
+N, T = 5, 2
+UNITS = 4
+VICTIM = 4
+NAIVE_SCHED = Schedule(setup_rounds=2, refresh_rounds=3, normal_rounds=8)
+
+
+class ChatterProtocol(NodeProgram):
+    def step(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        if ctx.info.phase is Phase.NORMAL:
+            ctx.broadcast("chat", ("hello", self.node_id, ctx.info.round))
+
+
+def run_naive(seed: int):
+    programs = [NaiveProgram(SCHEME) for _ in range(N)]
+    impersonator = NaiveImpersonator(SCHEME, victim=VICTIM, rng_seed=seed)
+    adversary = CutOffAdversary(victim=VICTIM, break_unit=1, impersonator=impersonator)
+    runner = ULRunner(programs, adversary, NAIVE_SCHED, s=T, seed=seed)
+    execution = runner.run(units=UNITS)
+    units_forged = sum(
+        1 for u in range(2, UNITS) if impersonations(execution, VICTIM, u)
+    )
+    alerts = sum(execution.alerts_in_unit(VICTIM, u) for u in range(UNITS))
+    return units_forged, alerts
+
+
+def run_uls(seed: int):
+    public, states, keys = build_uls_states(GROUP, SCHEME, N, T, seed=seed)
+    programs = compile_protocol([ChatterProtocol() for _ in range(N)], states, SCHEME, keys)
+    impersonator = UlsImpersonator(victim=VICTIM)
+    adversary = CutOffAdversary(victim=VICTIM, break_unit=1, impersonator=impersonator)
+    runner = ULRunner(programs, adversary, uls_schedule(), s=T, seed=seed)
+    execution = runner.run(units=UNITS)
+    units_forged = sum(
+        1 for u in range(2, UNITS) if impersonations(execution, VICTIM, u)
+    )
+    alerts = sum(1 for u in range(2, UNITS) if execution.alerts_in_unit(VICTIM, u))
+    return units_forged, alerts
+
+
+@pytest.fixture(scope="module")
+def table():
+    rows = []
+    attack_units = UNITS - 2
+    for seed in range(3):
+        forged, alerts = run_naive(seed)
+        rows.append(("naive (§1.3 strawman)", seed, attack_units, forged, alerts))
+        assert forged == attack_units, "the strawman must fall, silently"
+        assert alerts == 0
+    for seed in range(3):
+        forged, alerts = run_uls(seed)
+        rows.append(("ULS / authenticator", seed, attack_units, forged, alerts))
+        assert forged == 0, "ULS must not be impersonated after refresh"
+        assert alerts == attack_units, "ULS victim alerts every cut-off unit"
+    return rows
+
+
+def test_e5_baseline_comparison(table, benchmark):
+    emit("e5_baseline", format_table(
+        "E5  Cut-off attack: §1.3 strawman vs ULS (units with successful "
+        "impersonation / victim alerts, out of 2 attack units)",
+        ["scheme", "seed", "attack units", "units impersonated", "victim alert units"],
+        table,
+    ))
+    benchmark(lambda: run_naive(99))

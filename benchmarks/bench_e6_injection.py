@@ -1,0 +1,66 @@
+"""E6 — §5.1: "almost (t,t)-limited" injection-flood adversaries.
+
+The adversary breaks no nodes and tampers with no genuine traffic; it only
+*injects* bogus public keys during the clear-text announcement step of
+every refreshment phase (the one window the paper identifies as
+injection-sensitive).  Expected shape, per the paper's discussion:
+
+- emulation may fail — nodes can lose their certificates for a unit — but
+- **every** node that lost its keys alerts (local awareness), and
+- the *number* of alerting nodes grows with the flood, giving the
+  operator the paper's "global awareness" signal that the adversary has
+  exceeded the model (many simultaneous alerts cannot happen under a
+  genuine (t,t)-limited adversary).
+"""
+
+import pytest
+
+from repro.adversary.strategies import InjectionFloodAdversary
+from repro.core.uls import NEWKEY_CHANNEL
+
+from common import GROUP, SCHEME, build_uls_network, emit, format_table, key_histories
+
+N, T = 5, 2
+UNITS = 2
+
+
+def run_flood(flood_factor: int, seed: int):
+    def payload_factory(claimed, receiver, rng):
+        fake = SCHEME.key_repr(SCHEME.generate(rng).verify_key)
+        return ("newkey", 1, fake)
+
+    adversary = InjectionFloodAdversary(
+        payload_factory=payload_factory, channel=NEWKEY_CHANNEL,
+        flood_factor=flood_factor,
+    ) if flood_factor else None
+    public, programs, runner, schedule = build_uls_network(N, T, seed, adversary)
+    execution = runner.run(units=UNITS)
+    failed = sum(1 for p in programs if dict(p.keystore.history).get(1) == "failed")
+    alerting = sum(1 for p in programs if 1 in p.core.alert_units)
+    injected = adversary.injected_count if adversary else 0
+    return failed, alerting, injected
+
+
+@pytest.fixture(scope="module")
+def table():
+    rows = []
+    for flood in (0, 1, 2, 4):
+        for seed in range(3):
+            failed, alerting, injected = run_flood(flood, seed)
+            rows.append((flood, seed, injected, failed, alerting))
+            # local awareness: every key-less node alerted
+            assert alerting == failed
+            if flood == 0:
+                assert failed == 0
+    return rows
+
+
+def test_e6_injection_flood(table, benchmark):
+    emit("e6_injection", format_table(
+        "E6  Injection floods during the announcement step (§5.1): "
+        "certification may fail but every affected node alerts",
+        ["flood factor", "seed", "messages injected", "nodes without unit-1 keys",
+         "nodes alerting"],
+        table,
+    ))
+    benchmark(lambda: run_flood(1, 77))

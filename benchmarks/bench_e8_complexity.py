@@ -1,0 +1,62 @@
+"""E8 — §6 "Relaxations for small t": O(n²) vs O(nt) message complexity.
+
+DISPERSE (and with it PARTIAL-AGREEMENT and everything above) floods each
+send to all ``n - 1`` nodes; the paper observes that flooding to a fixed
+set of ``2t + 1`` relays preserves the agreement properties while cutting
+per-node complexity from O(n²) to O(nt).
+
+We run the full ULS refresh both ways at fixed ``t`` across growing ``n``
+and report messages per refreshment phase and per normal round.  The
+expected shape: the sparse/full ratio falls as ``n`` grows (toward
+``(2t+1)/n``-ish), while every refresh still succeeds.
+"""
+
+import pytest
+
+from repro.analysis.metrics import message_stats
+
+from common import build_uls_network, emit, format_table
+
+T = 2
+UNITS = 2
+
+
+def run_variant(n: int, relay_fanout, seed: int = 0):
+    public, programs, runner, schedule = build_uls_network(
+        n, T, seed, relay_fanout=relay_fanout
+    )
+    execution = runner.run(units=UNITS)
+    for program in programs:
+        assert program.keystore.history == [(1, "ok")], "refresh must succeed"
+        assert program.state.share_is_valid()
+    stats = message_stats(execution)
+    return stats.per_refresh_phase, stats.per_normal_round
+
+
+@pytest.fixture(scope="module")
+def table():
+    rows = []
+    fanout = 2 * T + 1
+    for n in (6, 7, 9, 11):
+        full_refresh, full_normal = run_variant(n, None)
+        sparse_refresh, sparse_normal = run_variant(n, fanout)
+        ratio = sparse_refresh / full_refresh
+        rows.append((n, T, int(full_refresh), int(sparse_refresh),
+                     f"{ratio:.2f}", int(full_normal), int(sparse_normal)))
+        if n > fanout + 1:
+            assert sparse_refresh < full_refresh
+    # the ratio must shrink with n (the whole point of the relaxation)
+    ratios = [float(row[4]) for row in rows]
+    assert ratios[-1] < ratios[0]
+    return rows
+
+
+def test_e8_message_complexity(table, benchmark):
+    emit("e8_complexity", format_table(
+        "E8  Refresh message complexity: full flood (O(n^2) per node) vs "
+        f"2t+1-relay DISPERSE (O(nt)), t={T}",
+        ["n", "t", "full msgs/refresh", "sparse msgs/refresh", "sparse/full",
+         "full msgs/normal-round", "sparse msgs/normal-round"],
+        table,
+    ))
+    benchmark(lambda: run_variant(6, 2 * T + 1, seed=1))

@@ -1,0 +1,71 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each ``bench_e*.py`` regenerates one experiment from the per-experiment
+index in DESIGN.md: it sweeps the experiment's parameters, prints the
+resulting table, saves it under ``benchmarks/results/``, asserts the
+paper-level claims hold (who wins / what is detected), and times one
+representative kernel through pytest-benchmark.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Sequence
+
+from repro.core.uls import UlsProgram, build_uls_states, uls_schedule
+from repro.crypto.group import named_group
+from repro.crypto.schnorr import SchnorrScheme
+from repro.sim.adversary_api import PassiveAdversary
+from repro.sim.runner import ULRunner
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+GROUP = named_group("toy64")
+SCHEME = SchnorrScheme(GROUP)
+
+
+def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width text table, the same shape the paper's claims take."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered_rows)) if rendered_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def emit(experiment_id: str, table: str) -> None:
+    """Print the table and persist it under benchmarks/results/."""
+    print("\n" + table + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(table + "\n")
+
+
+def build_uls_network(n: int, t: int, seed: int, adversary=None, relay_fanout=None,
+                      normal_rounds: int = 12):
+    """Standard ULS network construction used across experiments."""
+    public, states, keys = build_uls_states(GROUP, SCHEME, n, t, seed=seed)
+    programs = [
+        UlsProgram(states[i], SCHEME, keys[i], relay_fanout=relay_fanout)
+        for i in range(n)
+    ]
+    schedule = uls_schedule(normal_rounds=normal_rounds)
+    runner = ULRunner(programs, adversary or PassiveAdversary(), schedule,
+                      s=t, seed=seed)
+    return public, programs, runner, schedule
+
+
+def key_histories(programs) -> dict[int, dict[int, str]]:
+    return {i: dict(p.keystore.history) for i, p in enumerate(programs)}
+
+
+def certified_key_reprs(programs) -> dict[int, dict[int, tuple]]:
+    return {i: dict(p.keystore.key_reprs) for i, p in enumerate(programs)}

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""The paper's motivating attack, side by side (§1.1 vs §1.3 vs §4).
+
+Scenario: the adversary briefly breaks into node 4 during time unit 1,
+steals every key it holds, then *cuts the node off* from the network and
+impersonates it with the stolen keys for the rest of the run.
+
+Two key-management schemes face the identical adversary:
+
+1. the **naive strawman** (§1.3): each node signs its next per-unit key
+   with its previous one — the adversary forges one "rekey", hijacks the
+   victim's key chain, and impersonates it silently, forever;
+2. **ULS / the proactive authenticator** (§4–5): fresh keys must be
+   certified by a threshold of nodes under the ROM-anchored distributed
+   key — the stolen keys die at the next refresh, the forgeries bounce
+   off VER-CERT, and the victim raises an alert in every affected unit.
+
+Run:  python examples/cutoff_attack_demo.py
+"""
+
+from repro.adversary.impersonation import UlsImpersonator
+from repro.adversary.strategies import CutOffAdversary
+from repro.core.authenticator import compile_protocol
+from repro.core.naive import NaiveImpersonator, NaiveProgram
+from repro.core.uls import build_uls_states, uls_schedule
+from repro.core.views import impersonations
+from repro.crypto.group import named_group
+from repro.crypto.schnorr import SchnorrScheme
+from repro.sim.clock import Phase, Schedule
+from repro.sim.messages import Envelope
+from repro.sim.node import NodeContext, NodeProgram
+from repro.sim.runner import ULRunner
+
+N, T, UNITS, VICTIM, SEED = 5, 2, 4, 4, 7
+GROUP = named_group("toy64")
+SCHEME = SchnorrScheme(GROUP)
+
+
+class Heartbeat(NodeProgram):
+    """The protocol being protected: periodic authenticated heartbeats."""
+
+    def step(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        if ctx.info.phase is Phase.NORMAL:
+            ctx.broadcast("heartbeat", ("alive", self.node_id, ctx.info.round))
+
+
+def attack_naive():
+    programs = [NaiveProgram(SCHEME) for _ in range(N)]
+    impersonator = NaiveImpersonator(SCHEME, victim=VICTIM, rng_seed=SEED)
+    adversary = CutOffAdversary(victim=VICTIM, break_unit=1, impersonator=impersonator)
+    schedule = Schedule(setup_rounds=2, refresh_rounds=3, normal_rounds=8)
+    runner = ULRunner(programs, adversary, schedule, s=T, seed=SEED)
+    return runner.run(units=UNITS)
+
+
+def attack_uls():
+    public, states, keys = build_uls_states(GROUP, SCHEME, N, T, seed=SEED)
+    programs = compile_protocol([Heartbeat() for _ in range(N)], states, SCHEME, keys)
+    impersonator = UlsImpersonator(victim=VICTIM)
+    adversary = CutOffAdversary(victim=VICTIM, break_unit=1, impersonator=impersonator)
+    runner = ULRunner(programs, adversary, uls_schedule(), s=T, seed=SEED)
+    return runner.run(units=UNITS)
+
+
+def report(name: str, execution) -> None:
+    print(f"-- {name}")
+    for unit in range(2, UNITS):
+        forged = impersonations(execution, VICTIM, unit)
+        alerts = execution.alerts_in_unit(VICTIM, unit)
+        print(f"   unit {unit}: forged messages accepted as node {VICTIM}'s: "
+              f"{len(forged):3d}   victim alerts: {alerts}")
+
+
+def main() -> None:
+    print(f"adversary: break into node {VICTIM} during unit 1, steal its keys,")
+    print("cut it off from every other node, impersonate it from unit 2 on.\n")
+
+    naive_execution = attack_naive()
+    report("naive strawman (sign new key with old key, §1.3)", naive_execution)
+    print("   -> hijacked: the forged rekey chained trust to the adversary's key;")
+    print("      the victim has no idea.\n")
+
+    uls_execution = attack_uls()
+    report("ULS + proactive authenticator (§4-5)", uls_execution)
+    print("   -> protected: stolen keys expired at the refresh, certificates")
+    print("      cannot be forged, and the victim alerted every affected unit.")
+
+    # machine-checkable summary
+    assert any(impersonations(naive_execution, VICTIM, u) for u in range(2, UNITS))
+    assert all(not impersonations(uls_execution, VICTIM, u) for u in range(2, UNITS))
+    assert all(uls_execution.alerts_in_unit(VICTIM, u) >= 1 for u in range(2, UNITS))
+    assert all(naive_execution.alerts_in_unit(VICTIM, u) == 0 for u in range(UNITS))
+    print("\nOK: the paper's comparison reproduced.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Compiling an existing protocol with the authenticator Λ (§5).
+
+A small replicated configuration service written for *authenticated*
+links: a leader pushes config versions, replicas acknowledge and apply
+the highest version they have seen.  The protocol itself contains **no
+cryptography whatsoever** — it trusts its channel.
+
+``compile_protocol`` (the paper's Λ) turns it into a protocol that runs
+over fully adversarial links with recurring break-ins: every message is
+CERTIFY'd, DISPERSE'd and VER-CERT'd under per-unit keys that the nodes
+re-certify with the threshold scheme at every refreshment phase.
+
+The demo runs the compiled service while an adversary tampers with links
+and injects fake "config version 999" updates in the leader's name — the
+replicas never apply them.
+
+Run:  python examples/replicated_config_service.py
+"""
+
+from repro.core.authenticator import compile_protocol
+from repro.core.uls import build_uls_states, uls_schedule
+from repro.crypto.group import named_group
+from repro.crypto.schnorr import SchnorrScheme
+from repro.sim.adversary_api import Adversary, faithful_delivery
+from repro.sim.clock import Phase
+from repro.sim.messages import Envelope
+from repro.sim.node import NodeContext, NodeProgram
+from repro.sim.runner import ULRunner
+
+N, T, UNITS, LEADER, SEED = 5, 2, 3, 0, 13
+
+
+class ConfigService(NodeProgram):
+    """The AL-model protocol π: leader pushes, replicas apply + ack."""
+
+    def __init__(self):
+        super().__init__()
+        self.version = 0
+        self.config = {}
+        self.acks: dict[int, set[int]] = {}
+
+    def step(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        for envelope in inbox:
+            if envelope.channel == "config-push":
+                version, payload = envelope.payload
+                if envelope.sender == LEADER and version > self.version:
+                    self.version = version
+                    self.config = dict(payload)
+                    ctx.output(("applied", version))
+                    ctx.send(LEADER, "config-ack", version)
+            elif envelope.channel == "config-ack" and self.node_id == LEADER:
+                self.acks.setdefault(envelope.payload, set()).add(envelope.sender)
+
+        if self.node_id == LEADER and ctx.info.phase is Phase.NORMAL \
+                and ctx.info.index_in_phase == 0:
+            self.version += 1
+            payload = (("timeout_ms", 100 * self.version), ("unit", ctx.info.time_unit))
+            ctx.broadcast("config-push", (self.version, payload))
+            self.config = dict(payload)
+            ctx.output(("applied", self.version))
+
+
+class TamperAndInject(Adversary):
+    """Drops a fifth of all traffic and injects fake config pushes
+    claiming to come from the leader (plain envelopes — which the
+    compiled protocol never even sees, since they carry no valid
+    CERTIFY wrapper)."""
+
+    def deliver(self, api, info, traffic):
+        plan = {i: [] for i in range(api.n)}
+        for index, envelope in enumerate(traffic):
+            if index % 5 == 0 and envelope.sender != LEADER:
+                continue  # dropped
+            plan[envelope.receiver].append(envelope)
+        for replica in range(1, api.n):
+            plan[replica].append(api.forge_envelope(
+                LEADER, replica, "config-push",
+                (999, (("timeout_ms", 0), ("pwned", True)))))
+        return plan
+
+
+def main() -> None:
+    group = named_group("toy64")
+    scheme = SchnorrScheme(group)
+    public, states, keys = build_uls_states(group, scheme, N, T, seed=SEED)
+    inners = [ConfigService() for _ in range(N)]
+    programs = compile_protocol(inners, states, scheme, keys)
+    runner = ULRunner(programs, TamperAndInject(), uls_schedule(), s=T, seed=SEED)
+
+    print("running the compiled config service under link tampering and")
+    print("forged leader pushes for", UNITS, "time units...\n")
+    execution = runner.run(units=UNITS)
+
+    print(f"{'node':<6} {'applied version':<16} {'config':<40}")
+    for i, inner in enumerate(inners):
+        print(f"{i:<6} {inner.version:<16} {str(inner.config):<40}")
+        assert inner.version < 999, "forged config must never be applied"
+        assert "pwned" not in inner.config
+    versions = {inner.version for inner in inners}
+    assert max(versions) >= UNITS, "genuine pushes kept flowing"
+    print("\nOK: replicas tracked the genuine leader; every forged push "
+          "was rejected by VER-CERT before π ever saw it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""proactive-auth: maintaining authenticated communication under break-ins.
+
+A full reproduction of Canetti, Halevi & Herzberg (PODC 1997 /
+J. Cryptology 2000): a synchronous-network simulator with mobile
+break-ins and adversarial links, from-scratch threshold cryptography, the
+UL-model proactive distributed signature scheme ULS, and the proactive
+authenticator Λ.
+
+Quick start::
+
+    from repro.crypto import SchnorrScheme, named_group
+    from repro.core import UlsProgram, build_uls_states, uls_schedule
+    from repro.sim import ULRunner
+    from repro.adversary import PassiveAdversary
+
+    group = named_group("toy64")
+    scheme = SchnorrScheme(group)
+    public, states, keys = build_uls_states(group, scheme, n=5, t=2)
+    programs = [UlsProgram(s, scheme, k) for s, k in zip(states, keys)]
+    runner = ULRunner(programs, PassiveAdversary(), uls_schedule(), s=2)
+    execution = runner.run(units=3)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+experiment index.
+"""
+
+__version__ = "1.0.0"

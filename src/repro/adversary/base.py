@@ -1,0 +1,16 @@
+"""Adversary interface re-export.
+
+The :class:`Adversary` base class and :class:`AdversaryApi` live in
+:mod:`repro.sim.adversary_api` (the runner depends on them, and keeping
+them inside the ``sim`` package avoids an import cycle); this module
+re-exports them under the package where users naturally look for them.
+"""
+
+from repro.sim.adversary_api import (
+    Adversary,
+    AdversaryApi,
+    PassiveAdversary,
+    faithful_delivery,
+)
+
+__all__ = ["Adversary", "AdversaryApi", "PassiveAdversary", "faithful_delivery"]

@@ -1,0 +1,86 @@
+"""Adversary-power accounting: Definitions 3 and 7.
+
+These auditors run over a finished :class:`~repro.sim.transcript.Execution`
+and decide whether the adversary stayed within its declared limits:
+
+- :func:`audit_t_limited` — AL model (Def. 3): at most ``t`` nodes broken
+  into per time unit;
+- :func:`audit_st_limited` — UL model (Def. 7): at most ``t`` nodes broken
+  *or s-disconnected* per time unit.
+
+Security statements in the paper are conditioned on these limits, so the
+experiment harnesses assert them for the attacking strategies (and use
+violations as the expected outcome for deliberately over-powered ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.transcript import Execution
+
+__all__ = ["LimitReport", "audit_t_limited", "audit_st_limited"]
+
+
+@dataclass(frozen=True)
+class LimitReport:
+    """Outcome of a limit audit."""
+
+    limit: int
+    per_unit_impaired: dict[int, frozenset[int]]
+    violations: dict[int, frozenset[int]]  # unit -> impaired set, where |set| > limit
+
+    @property
+    def within_limits(self) -> bool:
+        return not self.violations
+
+    @property
+    def worst_unit_size(self) -> int:
+        if not self.per_unit_impaired:
+            return 0
+        return max(len(nodes) for nodes in self.per_unit_impaired.values())
+
+
+def _audit(
+    execution: Execution, limit: int, count_disconnected: bool, instantaneous: bool
+) -> LimitReport:
+    per_unit: dict[int, frozenset[int]] = {}
+    violations: dict[int, frozenset[int]] = {}
+    for unit in range(execution.units()):
+        union: set[int] = set()
+        worst: frozenset[int] = frozenset()
+        for record in execution.rounds_in_unit(unit):
+            now = set(record.broken)
+            if count_disconnected:
+                now |= set(range(execution.n)) - record.operational - record.broken
+            union |= now
+            if len(now) > len(worst):
+                worst = frozenset(now)
+        frozen = worst if instantaneous else frozenset(union)
+        per_unit[unit] = frozen
+        if len(frozen) > limit:
+            violations[unit] = frozen
+    return LimitReport(limit=limit, per_unit_impaired=per_unit, violations=violations)
+
+
+def audit_t_limited(execution: Execution, t: int) -> LimitReport:
+    """Definition 3: the adversary broke into at most ``t`` nodes per unit
+    (union over the unit's rounds — break-ins are explicit events)."""
+    return _audit(execution, t, count_disconnected=False, instantaneous=False)
+
+
+def audit_st_limited(execution: Execution, t: int, instantaneous: bool = True) -> LimitReport:
+    """Definition 7 with the runner's ``s``: at most ``t`` nodes broken or
+    s-disconnected per unit.
+
+    Definition 7's per-unit count is ambiguous once recovery lag enters:
+    a node broken in unit ``u`` remains s-*disconnected* through the
+    refreshment phase at the start of ``u+1`` (Def. 5.3 re-admits it only
+    at the phase's end), so under a union-over-the-unit reading the
+    canonical rotate-t-victims-per-unit adversary would already be
+    2t-limited.  The paper's narrative clearly intends such rotation to be
+    legal, which corresponds to the *instantaneous* reading (default):
+    at most ``t`` nodes impaired at any single round of the unit.  Pass
+    ``instantaneous=False`` for the stricter union reading.
+    """
+    return _audit(execution, t, count_disconnected=True, instantaneous=instantaneous)

@@ -1,0 +1,15 @@
+"""Agreement substrate (§1.4): broadcast emulation over reliable links.
+
+The AL model provides point-to-point links only; the PDS sub-protocols
+need (weakly) consistent broadcast.  Two classical constructions:
+
+- :mod:`repro.agreement.echo` — two-step echo broadcast (weak consistency,
+  constant rounds, works over any :class:`~repro.pds.transport.Transport`);
+- :mod:`repro.agreement.dolev_strong` — Dolev–Strong signature chains
+  (full byzantine broadcast, ``t + 1`` rounds).
+"""
+
+from repro.agreement.dolev_strong import DolevStrongProgram
+from repro.agreement.echo import BOTTOM, EchoBroadcast
+
+__all__ = ["DolevStrongProgram", "EchoBroadcast", "BOTTOM"]

@@ -1,0 +1,193 @@
+"""Dolev–Strong authenticated byzantine broadcast [16].
+
+The paper notes (§1.4) that its AL model has no broadcast channel, but one
+"can be emulated in the AL model using standard agreement protocols
+[31], [26], [27], [16], [17]".  This module implements the canonical such
+protocol — Dolev–Strong signature-chain broadcast — as a self-contained
+AL-model node program, tolerating any number ``t < n`` of corrupted nodes
+in ``t + 1`` rounds:
+
+- round 0: the designated sender signs its value and sends
+  ``(value, [sig_sender])`` to everyone;
+- round ``k``: a node that received a value carried by a chain of ``k``
+  valid signatures from ``k`` *distinct* nodes starting with the sender —
+  and that has extracted fewer than two values so far — adds the value to
+  its extracted set, appends its own signature, and forwards to everyone;
+- after round ``t + 1``: a node outputs the unique extracted value, or
+  the default ``⊥`` if it extracted zero or several values.
+
+Signature keys are distributed during the adversary-free set-up phase.
+Note the mobile-adversary caveat: these are *long-lived* keys, so a node
+that was ever broken stays forgeable in later broadcasts — which is
+precisely the problem the paper's proactive machinery exists to solve.
+This module is the classical substrate, used inside one AL-model time
+unit where the caveat is moot.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.hashing import encode_for_hash, tagged_hash
+from repro.crypto.signature import SignatureScheme
+from repro.sim.clock import Phase
+from repro.sim.messages import Envelope
+from repro.sim.node import NodeContext, NodeProgram
+
+__all__ = ["DolevStrongProgram", "BOTTOM"]
+
+BOTTOM = ("<bottom>",)
+_CHANNEL = "dolev-strong"
+_SIGN_TAG = "repro/dolev-strong/link"
+
+
+def _chain_message(session: Any, value: Any) -> bytes:
+    """What every signature in a chain covers: the session id and value."""
+    return tagged_hash(_SIGN_TAG, encode_for_hash(session), encode_for_hash(value))
+
+
+@dataclass
+class _Broadcast:
+    sender: int
+    start_round: int
+    extracted: list[Any] = field(default_factory=list)
+
+
+class DolevStrongProgram(NodeProgram):
+    """One node of the Dolev–Strong protocol.
+
+    Args:
+        scheme: the signature scheme for chain links.
+        t: corruption bound; the protocol runs ``t + 1`` forwarding rounds.
+        broadcasts: schedule ``{session_id: (sender, value, start_round)}``
+            known to all nodes (as in the classical model, *who* broadcasts
+            *when* is common knowledge; only the value needs agreement).
+            Non-sender nodes use only ``sender`` and ``start_round``.
+
+    Keys are generated in the first set-up round and exchanged over the
+    (setup-reliable) links; each node's output is
+    ``("ds-decide", session_id, value)`` at decision time.
+    """
+
+    def __init__(
+        self,
+        scheme: SignatureScheme,
+        t: int,
+        broadcasts: dict[Any, tuple[int, Any, int]],
+    ) -> None:
+        super().__init__()
+        self.scheme = scheme
+        self.t = t
+        self.broadcasts = broadcasts
+        self.keypair = None
+        self.verify_keys: dict[int, Any] = {}
+        self.sessions: dict[Any, _Broadcast] = {}
+        self.decisions: dict[Any, Any] = {}
+        self._outgoing: list[tuple[Any, Any, list[tuple[int, Any]]]] = []
+
+    # -- helpers -------------------------------------------------------------
+
+    def _valid_chain(
+        self, session_id: Any, value: Any, chain: list[tuple[int, Any]], round_index: int
+    ) -> bool:
+        """A round-``k`` message must carry ``k`` valid signatures from
+        distinct nodes, the first one the designated sender's."""
+        sender, _, _ = self.broadcasts[session_id]
+        if len(chain) != round_index:
+            return False
+        signers = [signer for signer, _ in chain]
+        if len(set(signers)) != len(signers):
+            return False
+        if not signers or signers[0] != sender:
+            return False
+        if self.node_id in signers:
+            return False  # nothing new to add; also guards loops
+        message = _chain_message(session_id, value)
+        for signer, signature in chain:
+            key = self.verify_keys.get(signer)
+            if key is None or not self.scheme.verify(key, message, signature):
+                return False
+        return True
+
+    def _extend_and_forward(
+        self, ctx: NodeContext, session_id: Any, value: Any, chain: list[tuple[int, Any]]
+    ) -> None:
+        message = _chain_message(session_id, value)
+        my_signature = self.scheme.sign(self.keypair.signing_key, message)
+        extended = chain + [(self.node_id, my_signature)]
+        ctx.broadcast(_CHANNEL, ("ds-fwd", session_id, value, extended))
+
+    # -- protocol ---------------------------------------------------------------
+
+    def step(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        if ctx.info.phase is Phase.SETUP:
+            if self.keypair is None:
+                self.keypair = self.scheme.generate(ctx.rng)
+                self.verify_keys[self.node_id] = self.keypair.verify_key
+                ctx.broadcast(_CHANNEL, ("ds-key", self.keypair.verify_key))
+            for envelope in inbox:
+                if envelope.channel == _CHANNEL and envelope.payload[0] == "ds-key":
+                    self.verify_keys[envelope.sender] = envelope.payload[1]
+            return
+
+        # learn any keys still in flight from the last set-up round
+        for envelope in inbox:
+            if envelope.channel == _CHANNEL and envelope.payload[0] == "ds-key":
+                self.verify_keys.setdefault(envelope.sender, envelope.payload[1])
+
+        # start broadcasts scheduled for this round
+        for session_id, (sender, value, start_round) in self.broadcasts.items():
+            if start_round == ctx.info.round and session_id not in self.sessions:
+                self.sessions[session_id] = _Broadcast(sender=sender, start_round=start_round)
+                if sender == self.node_id:
+                    self.sessions[session_id].extracted.append(value)
+                    self._extend_and_forward(ctx, session_id, value, [])
+
+        # process forwarded chains
+        for envelope in inbox:
+            if envelope.channel != _CHANNEL or envelope.payload[0] != "ds-fwd":
+                continue
+            _, session_id, value, chain = envelope.payload
+            if session_id not in self.broadcasts:
+                continue
+            sender, _, start_round = self.broadcasts[session_id]
+            session = self.sessions.setdefault(
+                session_id, _Broadcast(sender=sender, start_round=start_round)
+            )
+            round_index = ctx.info.round - start_round
+            if not (1 <= round_index <= self.t + 1):
+                continue
+            if len(session.extracted) >= 2:
+                continue
+            if any(_same(value, seen) for seen in session.extracted):
+                continue
+            if not self._valid_chain(session_id, value, chain, round_index):
+                continue
+            session.extracted.append(value)
+            if round_index <= self.t:  # final-round extractions are not forwarded
+                self._extend_and_forward(ctx, session_id, value, chain)
+
+        # decide sessions whose window closed
+        for session_id, session in self.sessions.items():
+            if session_id in self.decisions:
+                continue
+            if ctx.info.round >= session.start_round + self.t + 1:
+                if len(session.extracted) == 1:
+                    decision = session.extracted[0]
+                else:
+                    decision = BOTTOM
+                self.decisions[session_id] = decision
+                ctx.output(("ds-decide", session_id, decision))
+
+
+def _same(a: Any, b: Any) -> bool:
+    return encode_for_hash_safe(a) == encode_for_hash_safe(b)
+
+
+def encode_for_hash_safe(value: Any) -> bytes:
+    try:
+        return encode_for_hash(value)
+    except TypeError:
+        return repr(value).encode()

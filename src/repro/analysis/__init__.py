@@ -1,0 +1,36 @@
+"""Post-hoc analysis of executions.
+
+- :mod:`repro.analysis.goodness` — the Definition 17/18 classification
+  (GOOD vs BAD1/BAD2/BAD3) that drives the Theorem 14 experiments.
+- :mod:`repro.analysis.emulation` — finite emulation invariants derived
+  from the ideal signing process (§3.1, Lemmas 26–28).
+- :mod:`repro.analysis.metrics` — message/alert/availability statistics.
+"""
+
+from repro.analysis.awareness import GlobalAwarenessReport, global_awareness
+from repro.analysis.emulation import EmulationReport, check_emulation_invariants
+from repro.analysis.goodness import ForgedMessage, GoodnessReport, classify_execution
+from repro.analysis.metrics import (
+    MessageStats,
+    alert_counts,
+    certification_availability,
+    delivery_rate,
+    message_stats,
+    recovery_units,
+)
+
+__all__ = [
+    "GlobalAwarenessReport",
+    "global_awareness",
+    "EmulationReport",
+    "check_emulation_invariants",
+    "ForgedMessage",
+    "GoodnessReport",
+    "classify_execution",
+    "MessageStats",
+    "alert_counts",
+    "certification_availability",
+    "delivery_rate",
+    "message_stats",
+    "recovery_units",
+]

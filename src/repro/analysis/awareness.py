@@ -1,0 +1,58 @@
+"""Global awareness (§5.1): detecting an over-powered adversary.
+
+The paper's local awareness (Def. 11) tells an impersonated node about
+its own situation.  §5.1 adds a *global* concern: an "almost
+(t,t)-limited" adversary — one that injects on arbitrarily many links —
+can deny certificates to many nodes at once.  Emulation then fails, but
+the system as a whole can still notice: under a genuinely (t,t)-limited
+adversary at most ``t`` nodes per unit can be impaired, so **more than
+t alerting nodes in one unit is proof the adversary exceeded the model**.
+
+:func:`global_awareness` scans an execution for that signal.  Operators
+in the paper's deployment story would treat it as the trigger for
+out-of-band recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.node import ALERT
+from repro.sim.transcript import Execution
+
+__all__ = ["GlobalAwarenessReport", "global_awareness"]
+
+
+@dataclass(frozen=True)
+class GlobalAwarenessReport:
+    """Per-unit alerting sets and the units that exceed the model."""
+
+    t: int
+    alerting_nodes: dict[int, frozenset[int]]
+    #: units where the number of alerting nodes exceeds t — impossible
+    #: under any (t,t)-limited adversary (except with negligible
+    #: probability), hence evidence the model's bounds were exceeded
+    model_exceeded_units: tuple[int, ...]
+
+    @property
+    def adversary_exceeded_model(self) -> bool:
+        return bool(self.model_exceeded_units)
+
+
+def global_awareness(execution: Execution, t: int) -> GlobalAwarenessReport:
+    """Compute the §5.1 global-awareness signal for an execution."""
+    alerting: dict[int, frozenset[int]] = {}
+    exceeded: list[int] = []
+    for unit in range(execution.units()):
+        nodes = frozenset(
+            node
+            for node in range(execution.n)
+            if any(entry == ALERT for entry in execution.outputs_of_in_unit(node, unit))
+        )
+        if nodes:
+            alerting[unit] = nodes
+        if len(nodes) > t:
+            exceeded.append(unit)
+    return GlobalAwarenessReport(
+        t=t, alerting_nodes=alerting, model_exceeded_units=tuple(exceeded)
+    )

@@ -1,0 +1,104 @@
+"""Emulation invariants: finite checks behind Definition 12.
+
+We cannot test computational indistinguishability of output ensembles;
+what we *can* test are the finite, per-execution events that the proofs
+of Lemmas 26–28 use to distinguish real from ideal executions.  An
+execution whose global output violates one of these could not have been
+produced by any ideal-model forger, so each invariant violation would be
+a working distinguisher — experiments assert zero violations:
+
+- **I1 (threshold / unforgeability)**: a message reported ``signed`` (or
+  carrying a verifying signature) must have at least ``t + 1`` sign
+  requests behind it.  Requests issued through broken nodes leave no
+  output (the adversary speaks for them), so the check credits the
+  adversary with every node broken during the unit.
+- **I2 (liveness)**: if at least ``n - t`` nodes that stayed operational
+  through a unit were asked to sign ``(m, u)`` early enough, all of them
+  must report ``signed`` (the Lemma 26 event, inverted).
+- **I3 (alert soundness)**: a node that stayed operational through a
+  whole unit never alerts in it (t-emulation makes alerts impossible for
+  operational nodes — §2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sim.node import ALERT
+from repro.sim.transcript import Execution
+
+__all__ = ["EmulationReport", "check_emulation_invariants"]
+
+
+@dataclass
+class EmulationReport:
+    violations: list[tuple[str, Any]] = field(default_factory=list)
+    signed_messages: set[tuple[Any, int]] = field(default_factory=set)
+    request_counts: dict[tuple[Any, int], int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _operational_throughout_unit(execution: Execution, unit: int) -> frozenset[int]:
+    nodes = frozenset(range(execution.n))
+    for record in execution.rounds_in_unit(unit):
+        nodes &= record.operational
+    return nodes
+
+
+def check_emulation_invariants(execution: Execution, t: int) -> EmulationReport:
+    """Run invariants I1–I3 over an execution's global output."""
+    report = EmulationReport()
+    asked: dict[tuple[Any, int], set[int]] = {}
+    signed: dict[tuple[Any, int], set[int]] = {}
+
+    for node in range(execution.n):
+        for entry in execution.outputs_of(node):
+            if not isinstance(entry, tuple) or len(entry) != 3:
+                continue
+            head, message, unit = entry
+            if head == "asked-to-sign":
+                asked.setdefault((_key(message), unit), set()).add(node)
+            elif head == "signed":
+                signed.setdefault((_key(message), unit), set()).add(node)
+
+    report.request_counts = {key: len(nodes) for key, nodes in asked.items()}
+    report.signed_messages = set(signed)
+
+    # I1: signed => enough requests (crediting broken nodes to the forger)
+    for key, signers in signed.items():
+        _message, unit = key
+        requesters = asked.get(key, set())
+        credited = len(requesters) + len(execution.broken_in_unit(unit))
+        if credited < t + 1:
+            report.violations.append(("I1-threshold", (key, sorted(signers), credited)))
+
+    # I2: n - t operational requesters => everyone of them signed
+    for key, requesters in asked.items():
+        _message, unit = key
+        stable = _operational_throughout_unit(execution, unit)
+        stable_requesters = requesters & stable
+        if len(stable_requesters) >= execution.n - t:
+            missing = stable_requesters - signed.get(key, set())
+            if missing:
+                report.violations.append(("I2-liveness", (key, sorted(missing))))
+
+    # I3: operational-throughout nodes never alert
+    for unit in range(execution.units()):
+        stable = _operational_throughout_unit(execution, unit)
+        for node in stable:
+            if any(entry == ALERT for entry in execution.outputs_of_in_unit(node, unit)):
+                report.violations.append(("I3-false-alert", (unit, node)))
+
+    return report
+
+
+def _key(value: Any) -> Any:
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)

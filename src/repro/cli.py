@@ -1,0 +1,200 @@
+"""Command-line interface: run the paper's scenarios from a shell.
+
+::
+
+    python -m repro.cli benign    --n 5 --t 2 --units 3
+    python -m repro.cli breakins  --n 5 --t 2 --units 3 --seed 7
+    python -m repro.cli cutoff    --victim 4 --units 4
+    python -m repro.cli flood     --flood 2
+    python -m repro.cli partition --n 64
+
+Each scenario builds a ULS network, runs it under the corresponding
+adversary and prints a short report (alerts, refresh outcomes, signature
+checks, limit audits).  Exit status is non-zero if a security property
+that should hold did not — usable as a smoke test in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.adversary.impersonation import UlsImpersonator
+from repro.adversary.limits import audit_st_limited
+from repro.adversary.strategies import (
+    BreakinPlan,
+    CutOffAdversary,
+    InjectionFloodAdversary,
+    MobileBreakInAdversary,
+)
+from repro.analysis.awareness import global_awareness
+from repro.core.uls import (
+    NEWKEY_CHANNEL,
+    UlsProgram,
+    build_uls_states,
+    uls_schedule,
+    verify_user_signature,
+)
+from repro.crypto.group import NAMED_GROUP_NAMES, named_group
+from repro.crypto.schnorr import SchnorrScheme
+from repro.scale.partition import PartitionPlan, flat_tolerance
+from repro.sim.adversary_api import PassiveAdversary
+from repro.sim.runner import ULRunner
+
+__all__ = ["main"]
+
+
+def _build(args, adversary):
+    group = named_group(args.group)
+    scheme = SchnorrScheme(group)
+    public, states, keys = build_uls_states(group, scheme, args.n, args.t, seed=args.seed)
+    programs = [UlsProgram(states[i], scheme, keys[i]) for i in range(args.n)]
+    schedule = uls_schedule()
+    runner = ULRunner(programs, adversary, schedule, s=args.t, seed=args.seed)
+    for unit in range(args.units):
+        round_number = schedule.first_normal_round(unit)
+        for node in range(args.n):
+            runner.add_external_input(node, round_number, ("sign", f"doc-{unit}"))
+    return public, programs, runner, schedule
+
+
+def _report(public, programs, execution, args) -> int:
+    failures = 0
+    print(f"n={args.n} t={args.t} units={args.units} seed={args.seed} "
+          f"group={args.group}")
+    for unit in range(args.units):
+        message = f"doc-{unit}"
+        signature = next(
+            (p.signatures.get((message, unit)) for p in programs
+             if p.signatures.get((message, unit)) is not None),
+            None,
+        )
+        verified = signature is not None and verify_user_signature(
+            public, message, unit, signature
+        )
+        broken = sorted(execution.broken_in_unit(unit))
+        alerts = sorted(
+            i for i in range(args.n) if execution.alerts_in_unit(i, unit)
+        )
+        print(f"  unit {unit}: broken={broken or '-'} alerts={alerts or '-'} "
+              f"'{message}' signed+verified={verified}")
+    shares = [p.state.share_is_valid() for p in programs]
+    print(f"  shares valid at end: {sum(shares)}/{args.n}")
+    awareness = global_awareness(execution, args.t)
+    if awareness.adversary_exceeded_model:
+        print(f"  GLOBAL AWARENESS: > t nodes alerted in units "
+              f"{list(awareness.model_exceeded_units)} — adversary exceeded "
+              f"the (t,t) model")
+    limit = audit_st_limited(execution, args.t)
+    print(f"  (t,t)-limit audit: {'within limits' if limit.within_limits else 'EXCEEDED'}")
+    return failures
+
+
+def cmd_benign(args) -> int:
+    public, programs, runner, _ = _build(args, PassiveAdversary())
+    execution = runner.run(units=args.units)
+    failures = _report(public, programs, execution, args)
+    if any(p.core.alert_units for p in programs):
+        print("FAIL: false alerts in a benign run")
+        return 1
+    return failures
+
+
+def cmd_breakins(args) -> int:
+    plan = BreakinPlan.rotating(args.n, args.t, args.units, random.Random(args.seed))
+    public, programs, runner, _ = _build(args, MobileBreakInAdversary(plan))
+    execution = runner.run(units=args.units)
+    failures = _report(public, programs, execution, args)
+    if not all(p.state.share_is_valid() for p in programs):
+        print("FAIL: a node did not recover its share")
+        return 1
+    return failures
+
+
+def cmd_cutoff(args) -> int:
+    victim = args.victim % args.n
+    adversary = CutOffAdversary(victim=victim, break_unit=1,
+                                impersonator=UlsImpersonator(victim=victim))
+    public, programs, runner, _ = _build(args, adversary)
+    execution = runner.run(units=args.units)
+    failures = _report(public, programs, execution, args)
+    cut_units = range(2, args.units)
+    if not all(execution.alerts_in_unit(victim, u) for u in cut_units):
+        print("FAIL: the cut-off victim did not alert in every unit")
+        return 1
+    print(f"  victim {victim} alerted in every cut-off unit (awareness holds)")
+    return failures
+
+
+def cmd_flood(args) -> int:
+    scheme = SchnorrScheme(named_group(args.group))
+    adversary = InjectionFloodAdversary(
+        payload_factory=lambda c, r, rng: (
+            "newkey", 1, scheme.key_repr(scheme.generate(rng).verify_key)
+        ),
+        channel=NEWKEY_CHANNEL,
+        flood_factor=args.flood,
+    )
+    public, programs, runner, _ = _build(args, adversary)
+    execution = runner.run(units=args.units)
+    failures = _report(public, programs, execution, args)
+    print(f"  injected messages: {adversary.injected_count}")
+    return failures
+
+
+def cmd_partition(args) -> int:
+    plan = PartitionPlan.sqrt_partition(args.n)
+    info = plan.describe()
+    print(f"n={info['n']}: {info['clusters']} neighborhoods of sizes "
+          f"{info['cluster_sizes']}")
+    print(f"  flat tolerance (~n/2):        {flat_tolerance(args.n)}")
+    print(f"  partitioned tolerance (~n/4): {plan.tolerance()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--n", type=int, default=5, help="number of nodes")
+    common.add_argument("--t", type=int, default=2, help="adversary bound (n >= 2t+1)")
+    common.add_argument("--units", type=int, default=3, help="time units to simulate")
+    common.add_argument("--seed", type=int, default=0)
+    common.add_argument("--group", choices=list(NAMED_GROUP_NAMES), default="toy64")
+    parser = argparse.ArgumentParser(
+        prog="proactive-auth",
+        description="Run scenarios from 'Maintaining Authenticated "
+                    "Communication in the Presence of Break-Ins'.",
+    )
+    sub = parser.add_subparsers(dest="scenario", required=True)
+    sub.add_parser("benign", parents=[common],
+                   help="no adversary; baseline sanity run")
+    sub.add_parser("breakins", parents=[common],
+                   help="rotating mobile break-ins (t per unit)")
+    cut = sub.add_parser("cutoff", parents=[common],
+                         help="the §1.1 cut-off + impersonation attack")
+    cut.add_argument("--victim", type=int, default=4)
+    flood = sub.add_parser("flood", parents=[common],
+                           help="§5.1 injection flood on key announcements")
+    flood.add_argument("--flood", type=int, default=1)
+    sub.add_parser("partition", parents=[common],
+                   help="§6 two-level partition trade-off (no simulation)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.scenario != "partition" and args.n < 2 * args.t + 1:
+        print(f"error: need n >= 2t+1 (got n={args.n}, t={args.t})", file=sys.stderr)
+        return 2
+    handlers = {
+        "benign": cmd_benign,
+        "breakins": cmd_breakins,
+        "cutoff": cmd_cutoff,
+        "flood": cmd_flood,
+        "partition": cmd_partition,
+    }
+    return handlers[args.scenario](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""The paper's core contribution (§4–§5): proactive authentication in the
+UL model.
+
+- :mod:`repro.core.disperse` — DISPERSE (Fig. 2).
+- :mod:`repro.core.certify` — CERTIFY / VER-CERT (Fig. 3).
+- :mod:`repro.core.auth_send` — AUTH-SEND (Fig. 4) as a transport.
+- :mod:`repro.core.partial_agreement` — PARTIAL-AGREEMENT (Fig. 5).
+- :mod:`repro.core.keystore` — per-unit local keys and certificates.
+- :mod:`repro.core.uls` — the UL-model PDS scheme ULS (§4.2, Thm. 14).
+- :mod:`repro.core.authenticator` — the proactive authenticator Λ (§5,
+  Thm. 30 + Prop. 31).
+- :mod:`repro.core.views` — Definition-10 views and impersonation
+  detection.
+- :mod:`repro.core.naive` — the §1.3 strawman and its attack (baseline).
+"""
+
+from repro.core.auth_send import AuthSendTransport
+from repro.core.authenticator import AuthenticatedProgram, compile_protocol
+from repro.core.certify import CertifiedMessage, certify, ver_cert
+from repro.core.disperse import DisperseService
+from repro.core.keystore import KeyStore, LocalKeys, certificate_assertion
+from repro.core.naive import NaiveImpersonator, NaiveProgram
+from repro.core.partial_agreement import NO_VALUE, PartialAgreementService
+from repro.core.sessions import SessionLayer
+from repro.core.uls import (
+    UlsCore,
+    UlsProgram,
+    build_uls_states,
+    uls_refresh_rounds,
+    uls_schedule,
+    verify_user_signature,
+)
+from repro.core.views import impersonated_nodes, impersonations
+
+__all__ = [
+    "AuthSendTransport",
+    "AuthenticatedProgram",
+    "compile_protocol",
+    "CertifiedMessage",
+    "certify",
+    "ver_cert",
+    "DisperseService",
+    "KeyStore",
+    "LocalKeys",
+    "certificate_assertion",
+    "NaiveImpersonator",
+    "NaiveProgram",
+    "NO_VALUE",
+    "PartialAgreementService",
+    "SessionLayer",
+    "UlsCore",
+    "UlsProgram",
+    "build_uls_states",
+    "uls_refresh_rounds",
+    "uls_schedule",
+    "verify_user_signature",
+    "impersonated_nodes",
+    "impersonations",
+]

@@ -1,0 +1,122 @@
+"""Protocol AUTH-SEND (paper Fig. 4), packaged as a Transport.
+
+AUTH-SEND = CERTIFY + DISPERSE: the sender wraps its message with
+:func:`~repro.core.certify.certify` and floods it with
+:class:`~repro.core.disperse.DisperseService`; the receiver runs
+``VER-CERT`` on every DISPERSE receipt and *accepts* exactly the properly
+certified ones (with ``w`` pinned to two rounds before the current one —
+when the message must have been sent).
+
+Because this class implements :class:`~repro.pds.transport.Transport`
+(with ``delay = 2``), every AL-model sub-protocol in this package —
+threshold signing, share refresh, echo broadcast — runs over it
+unchanged.  That substitution is the entire §4 transformation of the
+paper: ``ULS = ALS where each message is sent via AUTH-SEND``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.certify import CertifiedMessage, certify, ver_cert
+from repro.core.disperse import DisperseService
+from repro.core.keystore import KeyStore
+from repro.pds.keys import PdsPublic
+from repro.pds.transport import Accepted, Transport
+from repro.sim.messages import Envelope
+from repro.sim.node import NodeContext
+
+__all__ = ["AuthSendTransport", "AcceptedCertified"]
+
+
+class AcceptedCertified(Accepted):
+    """An accepted message plus the raw certified tuple it arrived in
+    (PARTIAL-AGREEMENT step 3 re-disperses those raw tuples)."""
+
+    __slots__ = ("raw",)
+
+    def __init__(self, sender: int, body: Any, raw: CertifiedMessage) -> None:
+        super().__init__(sender, body)
+        self.raw = raw
+
+
+class AuthSendTransport(Transport):
+    """See module docstring.
+
+    Args:
+        keystore: the node's per-unit local keys (signing side and the
+            expected unit on the verifying side).
+        public: the PDS public parameters; ``public.public_key`` is the
+            ROM-anchored global verification key ``v_cert``.
+        disperse: the node's shared DISPERSE engine.
+        tag: DISPERSE tag separating this transport's traffic.
+    """
+
+    delay = 2
+
+    def __init__(
+        self,
+        keystore: KeyStore,
+        public: PdsPublic,
+        disperse: DisperseService,
+        tag: str = "auth",
+    ) -> None:
+        self.keystore = keystore
+        self.public = public
+        self.disperse = disperse
+        self.tag = tag
+        self._accepted: list[AcceptedCertified] = []
+        #: statistics + analysis logs
+        self.sent_count = 0
+        self.rejected_count = 0
+        self.accepted_log: list[tuple[int, int, Any]] = []  # (round, src, body)
+
+    def begin_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        """Run VER-CERT over this round's DISPERSE receipts.
+
+        The owner must have called ``disperse.on_round`` already (the
+        DISPERSE engine is shared among several consumers); this method
+        only consumes the receipts under its tag.
+        """
+        self._accepted = []
+        expected_round = ctx.info.round - self.delay
+        expected_unit = self.keystore.unit
+        for claimed_src, raw in self.disperse.receipts(self.tag):
+            msg = ver_cert(
+                self.keystore.scheme,
+                self.public,
+                receiver=ctx.node_id,
+                alleged_source=claimed_src,
+                expected_unit=expected_unit,
+                expected_round=expected_round,
+                raw=raw,
+            )
+            if msg is None:
+                self.rejected_count += 1
+                continue
+            self._accepted.append(AcceptedCertified(msg.source, msg.message, msg))
+            self.accepted_log.append((ctx.info.round, msg.source, msg.message))
+
+    def send(self, ctx: NodeContext, receiver: int, body: Any) -> None:
+        """CERTIFY + DISPERSE.  Silently a no-op when the local keys are
+        ``φ`` — a node without keys cannot authenticate (it has already
+        alerted; its peers simply won't hear from it)."""
+        msg = certify(
+            self.keystore.scheme,
+            self.keystore.current,
+            message=body,
+            source=ctx.node_id,
+            destination=receiver,
+            round_w=ctx.info.round,
+        )
+        if msg is None:
+            return
+        self.sent_count += 1
+        self.disperse.send(ctx, receiver, tuple(msg), tag=self.tag)
+
+    def accepted(self) -> list[Accepted]:
+        return list(self._accepted)
+
+    def accepted_certified(self) -> list[AcceptedCertified]:
+        """Accepted messages with raw certified tuples (for PA step 3)."""
+        return list(self._accepted)

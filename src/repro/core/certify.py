@@ -1,0 +1,187 @@
+"""Algorithms CERTIFY and VER-CERT (paper Fig. 3).
+
+CERTIFY binds a message to its full context — content ``m``, source ``i``,
+destination ``j``, time unit ``u`` and communication round ``w`` — under
+the sender's per-unit local key, and attaches the local verification key
+plus its PDS certificate.  VER-CERT checks, in order:
+
+1. **format/time**: right source, destination, unit and round (replays
+   and reflected messages die here);
+2. **certificate**: the attached verification key is certified for
+   ``(i, u)`` under the global key ``v_cert`` held in ROM;
+3. **signature**: the message signature verifies under the attached key.
+
+A message passing all three is *properly certified* (Definition 17(a)).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crypto.hashing import encode_for_hash
+from repro.crypto.signature import SignatureError, SignatureScheme
+from repro.core.keystore import LocalKeys, certificate_assertion
+from repro.pds.keys import PdsPublic
+from repro.pds.threshold_schnorr import pds_message_bytes, verify_pds_signature
+
+__all__ = ["CertifiedMessage", "certify", "ver_cert", "verify_certified_body"]
+
+
+class CertifiedMessage(tuple):
+    """The tuple ``⟨m, i, j, u, w, σ, v, cert⟩`` of Fig. 3 (a thin subclass
+    for readability; stays a plain tuple on the wire)."""
+
+    __slots__ = ()
+
+    @property
+    def message(self) -> Any:
+        return self[0]
+
+    @property
+    def source(self) -> int:
+        return self[1]
+
+    @property
+    def destination(self) -> int:
+        return self[2]
+
+    @property
+    def unit(self) -> int:
+        return self[3]
+
+    @property
+    def round(self) -> int:
+        return self[4]
+
+    @property
+    def signature(self) -> Any:
+        return self[5]
+
+    @property
+    def verify_key(self) -> Any:
+        return self[6]
+
+    @property
+    def certificate(self) -> Any:
+        return self[7]
+
+
+def _signed_bytes(message: Any, source: int, destination: int, unit: int, round_w: int) -> bytes:
+    return encode_for_hash(("auth-msg", message, source, destination, unit, round_w))
+
+
+def certify(
+    scheme: SignatureScheme,
+    keys: LocalKeys,
+    message: Any,
+    source: int,
+    destination: int,
+    round_w: int,
+) -> CertifiedMessage | None:
+    """Fig. 3 CERTIFY.  Returns None when the keys are ``φ`` (a node whose
+    refresh failed cannot authenticate anything — it should already have
+    alerted)."""
+    if not keys.usable:
+        return None
+    try:
+        signature = scheme.sign(
+            keys.keypair.signing_key,
+            _signed_bytes(message, source, destination, keys.unit, round_w),
+        )
+    except SignatureError:
+        return None  # e.g. one-time keys exhausted
+    return CertifiedMessage(
+        (
+            message,
+            source,
+            destination,
+            keys.unit,
+            round_w,
+            signature,
+            keys.keypair.verify_key,
+            keys.certificate,
+        )
+    )
+
+
+def _check_certificate(
+    scheme: SignatureScheme, public: PdsPublic, msg: CertifiedMessage
+) -> bool:
+    """Step 2 of VER-CERT: the attached key is certified for (i, u)."""
+    try:
+        key_repr = scheme.key_repr(msg.verify_key)
+    except TypeError:
+        return False
+    assertion = certificate_assertion(msg.source, msg.unit, key_repr)
+    return verify_pds_signature(public, assertion, msg.unit, msg.certificate)
+
+
+def ver_cert(
+    scheme: SignatureScheme,
+    public: PdsPublic,
+    receiver: int,
+    alleged_source: int,
+    expected_unit: int,
+    expected_round: int,
+    raw: Any,
+) -> CertifiedMessage | None:
+    """Fig. 3 VER-CERT.  Returns the accepted message, or None on reject."""
+    msg = _parse(raw)
+    if msg is None:
+        return None
+    # step 1: format and time
+    if msg.source != alleged_source or msg.destination != receiver:
+        return None
+    if msg.unit != expected_unit or msg.round != expected_round:
+        return None
+    # step 2: certificate
+    if not _check_certificate(scheme, public, msg):
+        return None
+    # step 3: message signature
+    try:
+        body = _signed_bytes(msg.message, msg.source, msg.destination, msg.unit, msg.round)
+    except TypeError:
+        return None
+    if not scheme.verify(msg.verify_key, body, msg.signature):
+        return None
+    return msg
+
+
+def verify_certified_body(
+    scheme: SignatureScheme,
+    public: PdsPublic,
+    expected_unit: int,
+    expected_round: int,
+    raw: Any,
+) -> CertifiedMessage | None:
+    """Like :func:`ver_cert` but without pinning source/destination.
+
+    Used by PARTIAL-AGREEMENT step 4 (Fig. 5), where nodes cross-check
+    *forwarded* certified messages that were originally addressed to other
+    nodes: authenticity of (author, content, time) is what matters, the
+    destination is whoever the author originally sent its input to.
+    """
+    msg = _parse(raw)
+    if msg is None:
+        return None
+    if msg.unit != expected_unit or msg.round != expected_round:
+        return None
+    if not _check_certificate(scheme, public, msg):
+        return None
+    try:
+        body = _signed_bytes(msg.message, msg.source, msg.destination, msg.unit, msg.round)
+    except TypeError:
+        return None
+    if not scheme.verify(msg.verify_key, body, msg.signature):
+        return None
+    return msg
+
+
+def _parse(raw: Any) -> CertifiedMessage | None:
+    if isinstance(raw, CertifiedMessage):
+        return raw
+    if isinstance(raw, tuple) and len(raw) == 8:
+        if isinstance(raw[1], int) and isinstance(raw[2], int) \
+                and isinstance(raw[3], int) and isinstance(raw[4], int):
+            return CertifiedMessage(raw)
+    return None

@@ -1,0 +1,137 @@
+"""Protocol DISPERSE — the two-phase echo (paper Fig. 2).
+
+``DISPERSE(m, i, j)`` sends a string from ``N_i`` to ``N_j`` through every
+possible length-≤2 path:
+
+1. ``N_i`` sends "forward m to N_j" to all other nodes;
+2. a node receiving such a message sends "forwarding m from N_i" to
+   ``N_j``;
+3. ``N_j`` marks every string for which it received a forwarding as
+   *received* from ``N_i``.
+
+DISPERSE guarantees **delivery only** (Lemma 15): if sender and receiver
+are both s-operational with ``s <= (n-1)/2``, some non-broken node has
+reliable links to both and relays the message.  It guarantees **no
+authenticity** — anyone can inject "forwarding m from N_i" — which is why
+AUTH-SEND layers CERTIFY on top.
+
+Receipts are normalized to land exactly two rounds after the send: a
+directly-received "forward" (the ``i → j`` link itself) is buffered one
+round so the receiver sees one receipt event per send, whichever paths
+survived.  Consumers multiplex via ``tag``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.crypto.hashing import encode_for_hash
+from repro.sim.messages import Envelope
+from repro.sim.node import NodeContext
+
+__all__ = ["DisperseService", "DISPERSE_CHANNEL"]
+
+DISPERSE_CHANNEL = "disperse"
+
+
+def _body_key(body: Any) -> Hashable:
+    """Dedup key for possibly-unhashable bodies."""
+    try:
+        return encode_for_hash(body)
+    except TypeError:
+        return repr(body)
+
+
+class DisperseService:
+    """Per-node DISPERSE engine; owner calls :meth:`on_round` first each
+    round, then any number of :meth:`send`; receipts via :meth:`receipts`.
+
+    Args:
+        relay_fanout: when set, implements the §6 "Relaxations for small
+            t": step 1 floods to only this many parties (typically
+            ``2t + 1``) instead of all ``n - 1``, cutting the complexity
+            from O(n²) to O(nt) messages.  The relay set is the lowest
+            node ids (a fixed, commonly-known choice), always including
+            the destination.
+    """
+
+    def __init__(self, relay_fanout: int | None = None) -> None:
+        # receipts that become visible next round: round -> list
+        self._buffered: dict[int, list[tuple[str, int, Any]]] = {}
+        self._current: list[tuple[str, int, Any]] = []  # (tag, claimed_src, body)
+        self._seen_receipts: set[Hashable] = set()
+        self._relayed: set[Hashable] = set()
+        self.relay_fanout = relay_fanout
+        self.messages_relayed = 0
+
+    def _targets(self, ctx: NodeContext, receiver: int) -> list[int]:
+        if self.relay_fanout is None or self.relay_fanout >= ctx.n - 1:
+            return [node for node in range(ctx.n) if node != ctx.node_id]
+        targets: list[int] = []
+        for node in range(ctx.n):
+            if node in (ctx.node_id, receiver):
+                continue
+            targets.append(node)
+            if len(targets) >= self.relay_fanout - 1:
+                break
+        targets.append(receiver)
+        return targets
+
+    def send(self, ctx: NodeContext, receiver: int, body: Any, tag: str = "") -> None:
+        """Step 1: flood "forward body to receiver" to the relay set
+        (all other nodes unless ``relay_fanout`` restricts it)."""
+        payload = ("fwd", tag, ctx.node_id, receiver, body)
+        for node in self._targets(ctx, receiver):
+            ctx.send(node, DISPERSE_CHANNEL, payload)
+
+    def on_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        """Steps 2-3: relay foreign forwards, collect receipts."""
+        round_number = ctx.info.round
+        self._current = self._buffered.pop(round_number, [])
+        emitted: set[Hashable] = set()
+
+        for envelope in inbox:
+            if envelope.channel != DISPERSE_CHANNEL:
+                continue
+            payload = envelope.payload
+            if not isinstance(payload, tuple) or len(payload) != 5:
+                continue
+            kind, tag, src, dst, body = payload
+            if kind == "fwd":
+                if dst == ctx.node_id:
+                    # the direct path; buffer so receipt timing is uniform
+                    self._buffer(round_number + 1, tag, src, body)
+                else:
+                    relay_key = ("r", round_number, tag, src, dst, _body_key(body))
+                    if relay_key in self._relayed:
+                        continue
+                    self._relayed.add(relay_key)
+                    self.messages_relayed += 1
+                    ctx.send(dst, DISPERSE_CHANNEL, ("fwding", tag, src, dst, body))
+            elif kind == "fwding":
+                if dst != ctx.node_id:
+                    continue
+                receipt_key = (round_number, tag, src, _body_key(body))
+                if receipt_key in emitted or receipt_key in self._seen_receipts:
+                    continue
+                emitted.add(receipt_key)
+                self._current.append((tag, src, body))
+
+        # dedup against the buffered direct copies that were released now
+        deduped: list[tuple[str, int, Any]] = []
+        seen: set[Hashable] = set()
+        for tag, src, body in self._current:
+            key = (tag, src, _body_key(body))
+            if key in seen:
+                continue
+            seen.add(key)
+            deduped.append((tag, src, body))
+        self._current = deduped
+
+    def _buffer(self, round_number: int, tag: str, src: int, body: Any) -> None:
+        self._buffered.setdefault(round_number, []).append((tag, src, body))
+
+    def receipts(self, tag: str = "") -> list[tuple[int, Any]]:
+        """Strings marked received this round under ``tag``, as
+        ``(claimed_source, body)`` — the source is NOT authenticated."""
+        return [(src, body) for t, src, body in self._current if t == tag]

@@ -1,0 +1,94 @@
+"""Internal/external views and impersonation detection (Definition 10).
+
+For an execution of Λ(π) (programs built with
+:class:`~repro.core.authenticator.AuthenticatedProgram`), the top layer's
+traffic is mirrored into the global output as ``app-sent`` / ``app-recv``
+lines.  This module reconstructs the paper's views from those lines:
+
+- the **internal view** of ``N_i`` during unit ``u``: the top-layer
+  messages it sent and received;
+- the **external view** of ``N_i``: the messages that *other non-broken
+  nodes'* internal views show as received from ``N_i``;
+- ``N_i`` is **impersonated** at unit ``u`` if its external view contains
+  a message absent from its internal view.
+
+Because AUTH-SEND delivers two rounds after sending, a message sent in
+the closing rounds of unit ``u`` may be received during unit ``u+1``'s
+refreshment phase (the paper handles this by assigning refresh-phase
+traffic to the previous unit, Definition 17); the matcher therefore also
+accepts a send recorded in the immediately preceding unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.transcript import Execution
+
+__all__ = ["ViewItem", "internal_sent", "external_view", "impersonations", "impersonated_nodes"]
+
+
+@dataclass(frozen=True)
+class ViewItem:
+    """One top-layer message as seen by a view."""
+
+    peer: int  # the other endpoint (receiver for sends, receiver for external items)
+    channel: str
+    payload: object
+
+
+def _payload_key(payload: object) -> object:
+    try:
+        hash(payload)
+        return payload
+    except TypeError:
+        return repr(payload)
+
+
+def internal_sent(execution: Execution, node: int, unit: int) -> set[ViewItem]:
+    """Top-layer messages ``node`` sent during ``unit``."""
+    items = set()
+    for entry in execution.outputs_of_in_unit(node, unit):
+        if isinstance(entry, tuple) and len(entry) == 4 and entry[0] == "app-sent":
+            _, receiver, channel, payload = entry
+            items.add(ViewItem(receiver, channel, _payload_key(payload)))
+    return items
+
+
+def external_view(execution: Execution, node: int, unit: int) -> set[ViewItem]:
+    """Messages other non-broken nodes recorded as received from ``node``
+    during ``unit``."""
+    broken = execution.broken_in_unit(unit)
+    items = set()
+    for other in range(execution.n):
+        if other == node or other in broken:
+            continue
+        for entry in execution.outputs_of_in_unit(other, unit):
+            if isinstance(entry, tuple) and len(entry) == 4 and entry[0] == "app-recv":
+                _, source, channel, payload = entry
+                if source == node:
+                    items.add(ViewItem(other, channel, _payload_key(payload)))
+    return items
+
+
+def impersonations(execution: Execution, node: int, unit: int) -> set[ViewItem]:
+    """External-view items with no matching send in this or the previous
+    unit — the messages the adversary successfully forged in ``node``'s
+    name.  Returns the empty set when ``node`` was broken during ``unit``
+    (a broken node is not "impersonated", Definition 10)."""
+    if node in execution.broken_in_unit(unit):
+        return set()
+    sent = internal_sent(execution, node, unit)
+    if unit > 0:
+        sent |= internal_sent(execution, node, unit - 1)
+    return external_view(execution, node, unit) - sent
+
+
+def impersonated_nodes(execution: Execution, unit: int) -> dict[int, set[ViewItem]]:
+    """All nodes impersonated during ``unit`` with the forged items."""
+    result = {}
+    for node in range(execution.n):
+        forged = impersonations(execution, node, unit)
+        if forged:
+            result[node] = forged
+    return result

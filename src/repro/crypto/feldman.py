@@ -1,0 +1,108 @@
+"""Feldman verifiable secret sharing.
+
+Shamir sharing plus a public commitment vector ``(g^{a_0}, ..., g^{a_t})``
+to the dealing polynomial's coefficients.  Any party can check its share
+against the commitment, and — crucially for the threshold Schnorr PDS —
+any party can compute the *public image* ``g^{f(x)}`` of any other party's
+share, which is what makes partial signatures publicly verifiable and the
+scheme robust against corrupted signers.
+
+Commitment vectors compose homomorphically: the commitment of a sum of
+polynomials is the element-wise product.  Proactive refresh exploits this
+to update the public share images after adding a zero-sharing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.field import Polynomial
+from repro.crypto.group import SchnorrGroup
+from repro.crypto.shamir import Share, ShamirDealer
+
+__all__ = ["FeldmanCommitment", "FeldmanDealing", "FeldmanDealer"]
+
+
+@dataclass(frozen=True)
+class FeldmanCommitment:
+    """Public commitment ``(g^{a_0}, ..., g^{a_t})`` to a polynomial."""
+
+    elements: tuple[int, ...]
+
+    @property
+    def public_constant(self) -> int:
+        """``g^{a_0}`` — the public image of the shared secret."""
+        return self.elements[0]
+
+    @property
+    def degree_bound(self) -> int:
+        return len(self.elements) - 1
+
+    def share_image(self, group: SchnorrGroup, x: int) -> int:
+        """Compute ``g^{f(x)} = Π elements[k]^{x^k}`` from public data."""
+        acc = group.identity
+        power_of_x = 1
+        for element in self.elements:
+            acc = group.multiply(acc, group.power(element, power_of_x))
+            power_of_x = (power_of_x * x) % group.q
+        return acc
+
+    def verify_share(self, group: SchnorrGroup, share: Share) -> bool:
+        """Check ``g^{share.value} == g^{f(share.x)}``."""
+        return group.base_power(share.value) == self.share_image(group, share.x)
+
+    def combine(self, group: SchnorrGroup, other: "FeldmanCommitment") -> "FeldmanCommitment":
+        """Commitment to the sum of the two committed polynomials.
+
+        Shorter vectors are padded with the identity (commitment to a zero
+        coefficient), so polynomials of different degree bounds compose.
+        """
+        length = max(len(self.elements), len(other.elements))
+        mine = self.elements + (group.identity,) * (length - len(self.elements))
+        theirs = other.elements + (group.identity,) * (length - len(other.elements))
+        return FeldmanCommitment(
+            elements=tuple(group.multiply(a, b) for a, b in zip(mine, theirs))
+        )
+
+
+@dataclass(frozen=True)
+class FeldmanDealing:
+    """Everything a dealer produces: per-party shares + the commitment."""
+
+    shares: list[Share]
+    commitment: FeldmanCommitment
+
+
+class FeldmanDealer:
+    """Deals Feldman-verifiable sharings in a Schnorr group."""
+
+    def __init__(self, group: SchnorrGroup, n: int, threshold: int) -> None:
+        self.group = group
+        self.shamir = ShamirDealer(group.scalar_field, n, threshold)
+        self.n = n
+        self.threshold = threshold
+
+    def commit(self, polynomial: Polynomial) -> FeldmanCommitment:
+        """Commit to an existing polynomial."""
+        return FeldmanCommitment(
+            elements=tuple(self.group.base_power(c) for c in polynomial.coefficients)
+        )
+
+    def deal(self, secret: int, rng: random.Random) -> FeldmanDealing:
+        """Deal a verifiable sharing of ``secret``."""
+        polynomial, shares = self.shamir.share(secret, rng)
+        return FeldmanDealing(shares=shares, commitment=self.commit(polynomial))
+
+    def deal_zero(self, rng: random.Random) -> FeldmanDealing:
+        """Deal a verifiable sharing of zero (for proactive refresh).
+
+        Verifiers must additionally check ``commitment.public_constant == 1``
+        to be sure the dealt secret really is zero; see
+        :meth:`verify_zero_dealing`.
+        """
+        return self.deal(0, rng)
+
+    def verify_zero_dealing(self, dealing_commitment: FeldmanCommitment) -> bool:
+        """Check that a commitment opens to a sharing of zero."""
+        return dealing_commitment.public_constant == self.group.identity

@@ -1,0 +1,170 @@
+"""Prime-field arithmetic and polynomials over ``Z_q``.
+
+The scalar field of the Schnorr group (:mod:`repro.crypto.group`) and the
+coefficient field of Shamir sharing (:mod:`repro.crypto.shamir`) are both
+instances of :class:`PrimeField`.  Polynomials are represented by their
+coefficient list, lowest degree first.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.numbers import is_probable_prime, mod_inverse
+
+__all__ = ["PrimeField", "Polynomial"]
+
+
+@dataclass(frozen=True)
+class PrimeField:
+    """The field of integers modulo a prime ``order``.
+
+    Elements are plain ints in ``[0, order)``; the class provides the
+    arithmetic, sampling and Lagrange helpers that operate on them.
+    """
+
+    order: int
+
+    def __post_init__(self) -> None:
+        if self.order < 2 or not is_probable_prime(self.order):
+            raise ValueError(f"field order must be prime, got {self.order}")
+
+    def element(self, value: int) -> int:
+        """Reduce an int into the field."""
+        return value % self.order
+
+    def add(self, a: int, b: int) -> int:
+        return (a + b) % self.order
+
+    def sub(self, a: int, b: int) -> int:
+        return (a - b) % self.order
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.order
+
+    def neg(self, a: int) -> int:
+        return (-a) % self.order
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises ZeroDivisionError on 0."""
+        return mod_inverse(a, self.order)
+
+    def div(self, a: int, b: int) -> int:
+        return (a * self.inv(b)) % self.order
+
+    def pow(self, a: int, e: int) -> int:
+        return pow(a, e, self.order)
+
+    def random_element(self, rng: random.Random) -> int:
+        """Uniform element of the field."""
+        return rng.randrange(self.order)
+
+    def random_nonzero(self, rng: random.Random) -> int:
+        """Uniform element of the multiplicative group (never 0)."""
+        return rng.randrange(1, self.order)
+
+    def random_polynomial(
+        self, degree: int, rng: random.Random, constant: int | None = None
+    ) -> "Polynomial":
+        """Random polynomial of exactly the given degree bound.
+
+        Args:
+            degree: degree bound (the polynomial has ``degree + 1``
+                coefficients; the top one may be zero, matching the sharing
+                semantics of Shamir's scheme).
+            constant: if given, fixes the constant term (the shared secret).
+        """
+        if degree < 0:
+            raise ValueError("degree must be non-negative")
+        coeffs = [self.random_element(rng) for _ in range(degree + 1)]
+        if constant is not None:
+            coeffs[0] = self.element(constant)
+        return Polynomial(self, coeffs)
+
+    def lagrange_coefficients_at_zero(self, xs: list[int]) -> list[int]:
+        """Lagrange interpolation coefficients ``λ_i`` evaluated at ``x = 0``.
+
+        For distinct points ``xs``, ``f(0) = Σ λ_i · f(xs[i])`` for any
+        polynomial ``f`` of degree < len(xs).  This is the combining step of
+        threshold signing (partial signatures are shares of the full one).
+        """
+        if len(set(x % self.order for x in xs)) != len(xs):
+            raise ValueError(f"interpolation points must be distinct: {xs}")
+        coeffs = []
+        for i, xi in enumerate(xs):
+            numerator = 1
+            denominator = 1
+            for j, xj in enumerate(xs):
+                if i == j:
+                    continue
+                numerator = (numerator * (-xj)) % self.order
+                denominator = (denominator * (xi - xj)) % self.order
+            coeffs.append(self.div(numerator, denominator))
+        return coeffs
+
+    def interpolate_at_zero(self, points: list[tuple[int, int]]) -> int:
+        """Evaluate the interpolating polynomial through ``points`` at 0."""
+        xs = [x for x, _ in points]
+        lam = self.lagrange_coefficients_at_zero(xs)
+        total = 0
+        for coeff, (_, y) in zip(lam, points):
+            total = (total + coeff * y) % self.order
+        return total
+
+    def interpolate_at(self, target: int, points: list[tuple[int, int]]) -> int:
+        """Evaluate the interpolating polynomial through ``points`` at an
+        arbitrary ``target`` (share recovery evaluates at the lost share's
+        own index)."""
+        if len(set(x % self.order for x, _ in points)) != len(points):
+            raise ValueError("interpolation points must be distinct")
+        total = 0
+        for i, (xi, yi) in enumerate(points):
+            numerator = 1
+            denominator = 1
+            for j, (xj, _) in enumerate(points):
+                if i == j:
+                    continue
+                numerator = (numerator * (target - xj)) % self.order
+                denominator = (denominator * (xi - xj)) % self.order
+            total = (total + yi * self.div(numerator, denominator)) % self.order
+        return total
+
+
+@dataclass(frozen=True)
+class Polynomial:
+    """A polynomial over a :class:`PrimeField`, coefficients lowest-first."""
+
+    field: PrimeField
+    coefficients: list[int]
+
+    def __post_init__(self) -> None:
+        if not self.coefficients:
+            raise ValueError("a polynomial needs at least one coefficient")
+        reduced = [c % self.field.order for c in self.coefficients]
+        object.__setattr__(self, "coefficients", reduced)
+
+    @property
+    def degree_bound(self) -> int:
+        """Number of coefficients minus one (top coefficient may be zero)."""
+        return len(self.coefficients) - 1
+
+    @property
+    def constant_term(self) -> int:
+        return self.coefficients[0]
+
+    def evaluate(self, x: int) -> int:
+        """Horner evaluation of the polynomial at ``x``."""
+        acc = 0
+        for coeff in reversed(self.coefficients):
+            acc = (acc * x + coeff) % self.field.order
+        return acc
+
+    def add(self, other: "Polynomial") -> "Polynomial":
+        """Coefficient-wise sum (pads the shorter polynomial with zeros)."""
+        if other.field.order != self.field.order:
+            raise ValueError("cannot add polynomials over different fields")
+        length = max(len(self.coefficients), len(other.coefficients))
+        mine = self.coefficients + [0] * (length - len(self.coefficients))
+        theirs = other.coefficients + [0] * (length - len(other.coefficients))
+        return Polynomial(self.field, [(a + b) % self.field.order for a, b in zip(mine, theirs)])

@@ -1,0 +1,133 @@
+"""Many-time hash-based signatures: a Merkle tree of Lamport keys.
+
+This instantiates the paper's centralized scheme ``CS`` from nothing but a
+hash function, mirroring the generic feasibility argument behind
+Theorem 13 ("... or even any one-way function [34]").  A signing key is a
+batch of Lamport one-time keys committed under a single Merkle root; each
+signature reveals one Lamport signature plus the authentication path of
+its verification key.
+
+The scheme is *stateful*: the signing key tracks the next unused leaf.
+In the proactive-authentication protocol each local key only ever signs a
+bounded number of messages per time unit, so a modest capacity suffices;
+exhaustion raises :class:`~repro.crypto.signature.SignatureError` rather
+than silently reusing a one-time key.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.crypto.lamport import (
+    LamportScheme,
+    LamportSignature,
+    LamportSigningKey,
+    LamportVerifyKey,
+)
+from repro.crypto.merkle import MerklePath, MerkleTree
+from repro.crypto.signature import KeyPair, SignatureError, SignatureScheme
+
+__all__ = ["MerkleVerifyKey", "MerkleSigningKey", "MerkleSignature", "MerkleSignatureScheme"]
+
+
+@dataclass(frozen=True)
+class MerkleVerifyKey:
+    """The Merkle root committing to all one-time verification keys."""
+
+    root: bytes
+    capacity: int
+
+
+@dataclass
+class MerkleSigningKey:
+    """All one-time keys, the tree, and the next-free-leaf counter.
+
+    Mutable on purpose: consuming a leaf advances ``next_leaf``.  The
+    simulator copies node memory on break-ins, so a stolen key carries its
+    counter with it — exactly the state an attacker would obtain.
+    """
+
+    ots_signing: list[LamportSigningKey]
+    ots_verify: list[LamportVerifyKey]
+    tree: MerkleTree
+    next_leaf: int = 0
+    used: set[int] = field(default_factory=set)
+
+    @property
+    def remaining(self) -> int:
+        return len(self.ots_signing) - self.next_leaf
+
+
+@dataclass(frozen=True)
+class MerkleSignature:
+    """A one-time signature + its verification key + the Merkle path."""
+
+    leaf_index: int
+    ots_signature: LamportSignature
+    ots_verify_key: LamportVerifyKey
+    path: MerklePath
+
+
+class MerkleSignatureScheme(SignatureScheme):
+    """Many-time hash-based signatures (Merkle/Lamport).
+
+    Args:
+        capacity: number of one-time keys per key pair (messages signable).
+    """
+
+    name = "merkle-lamport"
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._ots = LamportScheme()
+
+    def key_repr(self, verify_key: MerkleVerifyKey) -> tuple:
+        if not isinstance(verify_key, MerkleVerifyKey):
+            raise TypeError("not a Merkle verify key")
+        return ("merkle-lamport", verify_key.root, verify_key.capacity)
+
+    def generate(self, rng: random.Random) -> KeyPair:
+        signing_keys = []
+        verify_keys = []
+        for _ in range(self.capacity):
+            pair = self._ots.generate(rng)
+            verify_keys.append(pair.verify_key)
+            signing_keys.append(pair.signing_key)
+        tree = MerkleTree([vk.fingerprint() for vk in verify_keys])
+        verify = MerkleVerifyKey(root=tree.root, capacity=self.capacity)
+        signing = MerkleSigningKey(ots_signing=signing_keys, ots_verify=verify_keys, tree=tree)
+        return KeyPair(verify, signing)
+
+    def sign(self, signing_key: MerkleSigningKey, message: bytes) -> MerkleSignature:
+        if signing_key.next_leaf >= len(signing_key.ots_signing):
+            raise SignatureError(
+                f"hash-based key exhausted after {len(signing_key.ots_signing)} signatures"
+            )
+        leaf = signing_key.next_leaf
+        signing_key.next_leaf += 1
+        signing_key.used.add(leaf)
+        ots_signature = self._ots.sign(signing_key.ots_signing[leaf], message)
+        return MerkleSignature(
+            leaf_index=leaf,
+            ots_signature=ots_signature,
+            ots_verify_key=signing_key.ots_verify[leaf],
+            path=signing_key.tree.path(leaf),
+        )
+
+    def verify(self, verify_key: MerkleVerifyKey, message: bytes, signature: object) -> bool:
+        if not isinstance(signature, MerkleSignature):
+            return False
+        if not isinstance(verify_key, MerkleVerifyKey):
+            return False
+        if not (0 <= signature.leaf_index < verify_key.capacity):
+            return False
+        if signature.path.leaf_index != signature.leaf_index:
+            return False
+        if not MerkleTree.verify_path(
+            verify_key.root, signature.ots_verify_key.fingerprint(), signature.path
+        ):
+            return False
+        return self._ots.verify(signature.ots_verify_key, message, signature.ots_signature)

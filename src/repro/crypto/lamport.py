@@ -1,0 +1,92 @@
+"""Lamport one-time signatures.
+
+The hash-based building block for :mod:`repro.crypto.hash_sig`.  Security
+rests only on the one-wayness of SHA-256, which matches the paper's remark
+that centralized signatures exist from any one-way function [34].
+
+A key signs the 256-bit digest of the message: for each digest bit the
+signer reveals one of two preimages.  Each key must be used at most once;
+:class:`repro.crypto.hash_sig.MerkleSignatureScheme` turns a tree of these
+into a many-time scheme.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.hashing import sha256, tagged_hash
+from repro.crypto.signature import KeyPair, SignatureScheme, SignatureError
+
+__all__ = ["LamportVerifyKey", "LamportSigningKey", "LamportSignature", "LamportScheme"]
+
+_DIGEST_BITS = 256
+_LEAF_TAG = "repro/lamport/leaf"
+_MSG_TAG = "repro/lamport/message"
+
+
+@dataclass(frozen=True)
+class LamportVerifyKey:
+    """256 pairs of hash outputs, flattened as a tuple of 512 digests."""
+
+    hashes: tuple[bytes, ...]
+
+    def fingerprint(self) -> bytes:
+        """Compact commitment to the whole key (used as a Merkle leaf)."""
+        return tagged_hash(_LEAF_TAG, *self.hashes)
+
+
+@dataclass(frozen=True)
+class LamportSigningKey:
+    """256 pairs of preimages, flattened as a tuple of 512 secrets."""
+
+    preimages: tuple[bytes, ...]
+
+
+@dataclass(frozen=True)
+class LamportSignature:
+    """One revealed preimage per digest bit."""
+
+    revealed: tuple[bytes, ...]
+
+
+def _message_digest_bits(message: bytes) -> list[int]:
+    digest = tagged_hash(_MSG_TAG, message)
+    return [(digest[i // 8] >> (7 - i % 8)) & 1 for i in range(_DIGEST_BITS)]
+
+
+class LamportScheme(SignatureScheme):
+    """One-time Lamport signatures over SHA-256.
+
+    ``sign`` is stateless here; one-time-use discipline is enforced by the
+    caller (the Merkle many-time wrapper tracks leaf usage).
+    """
+
+    name = "lamport"
+
+    def generate(self, rng: random.Random) -> KeyPair:
+        preimages = tuple(rng.getrandbits(256).to_bytes(32, "big") for _ in range(2 * _DIGEST_BITS))
+        hashes = tuple(sha256(preimage) for preimage in preimages)
+        return KeyPair(LamportVerifyKey(hashes=hashes), LamportSigningKey(preimages=preimages))
+
+    def sign(self, signing_key: LamportSigningKey, message: bytes) -> LamportSignature:
+        if len(signing_key.preimages) != 2 * _DIGEST_BITS:
+            raise SignatureError("malformed Lamport signing key")
+        bits = _message_digest_bits(message)
+        revealed = tuple(
+            signing_key.preimages[2 * index + bit] for index, bit in enumerate(bits)
+        )
+        return LamportSignature(revealed=revealed)
+
+    def verify(self, verify_key: LamportVerifyKey, message: bytes, signature: object) -> bool:
+        if not isinstance(signature, LamportSignature):
+            return False
+        if not isinstance(verify_key, LamportVerifyKey):
+            return False
+        if len(signature.revealed) != _DIGEST_BITS or len(verify_key.hashes) != 2 * _DIGEST_BITS:
+            return False
+        bits = _message_digest_bits(message)
+        for index, bit in enumerate(bits):
+            if sha256(signature.revealed[index]) != verify_key.hashes[2 * index + bit]:
+                return False
+        return True

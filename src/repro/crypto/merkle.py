@@ -1,0 +1,92 @@
+"""Merkle hash trees with authentication paths.
+
+Used by the many-time hash-based signature scheme
+(:mod:`repro.crypto.hash_sig`) to commit to a batch of Lamport one-time
+verification keys, and available as a general-purpose accumulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import tagged_hash
+
+__all__ = ["MerkleTree", "MerklePath"]
+
+_NODE_TAG = "repro/merkle/node"
+_LEAF_TAG = "repro/merkle/leaf"
+
+
+@dataclass(frozen=True)
+class MerklePath:
+    """Authentication path for one leaf: the sibling digest at every level,
+    bottom-up, plus the leaf index (which encodes left/right turns)."""
+
+    leaf_index: int
+    siblings: tuple[bytes, ...]
+
+
+class MerkleTree:
+    """A complete binary Merkle tree over a list of leaf payloads.
+
+    The leaf count is padded to the next power of two with distinguishable
+    empty leaves.  Leaves are hashed with a leaf-specific tag so a leaf
+    digest can never be confused with an interior node (no second-preimage
+    splicing).
+    """
+
+    def __init__(self, leaves: list[bytes]) -> None:
+        if not leaves:
+            raise ValueError("a Merkle tree needs at least one leaf")
+        self.leaf_count = len(leaves)
+        size = 1
+        while size < len(leaves):
+            size *= 2
+        hashed = [tagged_hash(_LEAF_TAG, leaf) for leaf in leaves]
+        hashed += [tagged_hash(_LEAF_TAG, b"", index.to_bytes(8, "big"))
+                   for index in range(len(leaves), size)]
+        # levels[0] is the leaf level, levels[-1] is [root]
+        levels = [hashed]
+        while len(levels[-1]) > 1:
+            below = levels[-1]
+            above = [
+                tagged_hash(_NODE_TAG, below[2 * i], below[2 * i + 1])
+                for i in range(len(below) // 2)
+            ]
+            levels.append(above)
+        self._levels = levels
+
+    @property
+    def root(self) -> bytes:
+        return self._levels[-1][0]
+
+    @property
+    def height(self) -> int:
+        return len(self._levels) - 1
+
+    def path(self, leaf_index: int) -> MerklePath:
+        """Authentication path for the leaf at ``leaf_index``."""
+        if not (0 <= leaf_index < self.leaf_count):
+            raise IndexError(f"leaf index {leaf_index} out of range")
+        siblings = []
+        index = leaf_index
+        for level in self._levels[:-1]:
+            sibling_index = index ^ 1
+            siblings.append(level[sibling_index])
+            index //= 2
+        return MerklePath(leaf_index=leaf_index, siblings=tuple(siblings))
+
+    @staticmethod
+    def verify_path(root: bytes, leaf: bytes, path: MerklePath) -> bool:
+        """Check that ``leaf`` sits at ``path.leaf_index`` under ``root``."""
+        if path.leaf_index < 0:
+            return False
+        digest = tagged_hash(_LEAF_TAG, leaf)
+        index = path.leaf_index
+        for sibling in path.siblings:
+            if index % 2 == 0:
+                digest = tagged_hash(_NODE_TAG, digest, sibling)
+            else:
+                digest = tagged_hash(_NODE_TAG, sibling, digest)
+            index //= 2
+        return digest == root

@@ -1,0 +1,133 @@
+"""Pedersen commitments and Pedersen VSS.
+
+Feldman commitments (:mod:`repro.crypto.feldman`) are computationally
+hiding only — they publish ``g^secret``.  Pedersen's scheme commits with
+two generators, ``C(m, r) = g^m · h^r``, and is *information-theoretically*
+hiding (every commitment is consistent with every message) while binding
+under discrete log.  The proactive-security literature that grew out of
+this paper (notably the robust DKGs of Gennaro et al.) uses Pedersen VSS
+wherever the dealt secret must stay hidden even from unbounded observers;
+we provide it as substrate for such extensions.
+
+The second generator is derived by hashing into the group (a random
+quadratic residue), so *nobody* knows ``log_g(h)`` — which is exactly the
+binding assumption.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.field import Polynomial
+from repro.crypto.group import SchnorrGroup
+from repro.crypto.hashing import hash_to_int
+from repro.crypto.shamir import Share
+
+__all__ = [
+    "derive_second_generator",
+    "PedersenParams",
+    "PedersenCommitment",
+    "PedersenVssDealing",
+    "PedersenVssDealer",
+]
+
+_H_TAG = "repro/pedersen/second-generator"
+
+
+def derive_second_generator(group: SchnorrGroup, label: str = "default") -> int:
+    """A generator ``h`` of the order-q subgroup with unknown ``log_g h``:
+    hash to ``Z_p*`` and square (every square generates the subgroup,
+    bar the identity)."""
+    counter = 0
+    while True:
+        candidate = hash_to_int(_H_TAG, group.p, label, counter)
+        h = pow(candidate, 2, group.p)
+        if h != group.identity and h != group.g:
+            return h
+        counter += 1
+
+
+@dataclass(frozen=True)
+class PedersenParams:
+    """Group plus the two generators."""
+
+    group: SchnorrGroup
+    h: int
+
+    @classmethod
+    def for_group(cls, group: SchnorrGroup, label: str = "default") -> "PedersenParams":
+        return cls(group=group, h=derive_second_generator(group, label))
+
+    def commit(self, message: int, randomness: int) -> int:
+        """``C(m, r) = g^m · h^r``."""
+        group = self.group
+        return group.multiply(group.base_power(message), group.power(self.h, randomness))
+
+    def verify_opening(self, commitment: int, message: int, randomness: int) -> bool:
+        return self.commit(message, randomness) == commitment
+
+
+@dataclass(frozen=True)
+class PedersenCommitment:
+    """Commitment vector ``E_k = g^{a_k} h^{b_k}`` to a polynomial pair."""
+
+    elements: tuple[int, ...]
+
+    def share_image(self, params: PedersenParams, x: int) -> int:
+        group = params.group
+        acc = group.identity
+        power_of_x = 1
+        for element in self.elements:
+            acc = group.multiply(acc, group.power(element, power_of_x))
+            power_of_x = (power_of_x * x) % group.q
+        return acc
+
+    def verify_share(self, params: PedersenParams, share: Share, blinding: int) -> bool:
+        """Check ``g^{f(x)} h^{f'(x)} == Π E_k^{x^k}``."""
+        lhs = params.commit(share.value, blinding)
+        return lhs == self.share_image(params, share.x)
+
+    def combine(self, params: PedersenParams, other: "PedersenCommitment") -> "PedersenCommitment":
+        group = params.group
+        length = max(len(self.elements), len(other.elements))
+        mine = self.elements + (group.identity,) * (length - len(self.elements))
+        theirs = other.elements + (group.identity,) * (length - len(other.elements))
+        return PedersenCommitment(
+            elements=tuple(group.multiply(a, b) for a, b in zip(mine, theirs))
+        )
+
+
+@dataclass(frozen=True)
+class PedersenVssDealing:
+    """Shares of the secret, matching blinding shares, and the commitment."""
+
+    shares: list[Share]
+    blindings: list[int]
+    commitment: PedersenCommitment
+
+
+class PedersenVssDealer:
+    """Deals Pedersen-verifiable sharings (information-theoretic hiding)."""
+
+    def __init__(self, params: PedersenParams, n: int, threshold: int) -> None:
+        if not (0 <= threshold < n):
+            raise ValueError(f"threshold must be in [0, n), got t={threshold}, n={n}")
+        self.params = params
+        self.n = n
+        self.threshold = threshold
+
+    def deal(self, secret: int, rng: random.Random) -> PedersenVssDealing:
+        field = self.params.group.scalar_field
+        f = field.random_polynomial(self.threshold, rng, constant=secret)
+        f_prime = field.random_polynomial(self.threshold, rng)
+        elements = tuple(
+            self.params.commit(a, b)
+            for a, b in zip(f.coefficients, f_prime.coefficients)
+        )
+        shares = [Share(x=i, value=f.evaluate(i)) for i in range(1, self.n + 1)]
+        blindings = [f_prime.evaluate(i) for i in range(1, self.n + 1)]
+        return PedersenVssDealing(
+            shares=shares, blindings=blindings,
+            commitment=PedersenCommitment(elements=elements),
+        )

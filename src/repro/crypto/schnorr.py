@@ -1,0 +1,106 @@
+"""Centralized Schnorr signatures over a Schnorr group.
+
+This is the default instantiation of the paper's abstract scheme
+``CS = (CGen, CSign, CVer)``: existentially unforgeable under chosen
+message attack in the random-oracle model under discrete log.  It is also
+the *centralized shadow* of the threshold scheme in
+:mod:`repro.pds.threshold_schnorr` — a threshold signature combined from
+partial signatures verifies under this exact verifier.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.group import SchnorrGroup, named_group
+from repro.crypto.hashing import hash_to_int
+from repro.crypto.signature import KeyPair, SignatureScheme
+
+__all__ = ["SchnorrSignature", "SchnorrVerifyKey", "SchnorrSigningKey", "SchnorrScheme"]
+
+_CHALLENGE_TAG = "repro/schnorr/challenge"
+
+
+@dataclass(frozen=True)
+class SchnorrVerifyKey:
+    """Public key ``y = g^x``."""
+
+    y: int
+
+
+@dataclass(frozen=True)
+class SchnorrSigningKey:
+    """Secret exponent ``x`` plus the matching public key (kept for
+    convenience so signers do not need to recompute ``g^x``)."""
+
+    x: int
+    y: int
+
+
+@dataclass(frozen=True)
+class SchnorrSignature:
+    """A signature ``(R, s)`` with ``g^s = R * y^e``, ``e = H(R, y, m)``."""
+
+    commitment: int  # R = g^k
+    response: int  # s = k + e*x mod q
+
+
+class SchnorrScheme(SignatureScheme):
+    """Schnorr signatures; see module docstring.
+
+    Args:
+        group: the Schnorr group to operate in (defaults to the fast
+            ``toy64`` test group; pass ``named_group("toy512")`` or a
+            generated group for realistic sizes).
+    """
+
+    name = "schnorr"
+
+    def __init__(self, group: SchnorrGroup | None = None) -> None:
+        self.group = group or named_group("toy64")
+
+    def key_repr(self, verify_key: SchnorrVerifyKey) -> tuple:
+        if not isinstance(verify_key, SchnorrVerifyKey):
+            raise TypeError("not a Schnorr verify key")
+        return ("schnorr", self.group.p, verify_key.y)
+
+    def generate(self, rng: random.Random) -> KeyPair:
+        x = self.group.random_scalar(rng)
+        y = self.group.base_power(x)
+        return KeyPair(SchnorrVerifyKey(y=y), SchnorrSigningKey(x=x, y=y))
+
+    def challenge(self, commitment: int, y: int, message: bytes) -> int:
+        """Fiat--Shamir challenge ``e = H(R, y, m) mod q``.
+
+        Exposed publicly because the threshold scheme computes the same
+        challenge when assembling partial signatures.
+        """
+        return hash_to_int(_CHALLENGE_TAG, self.group.q, commitment, y, message)
+
+    def sign(self, signing_key: SchnorrSigningKey, message: bytes) -> SchnorrSignature:
+        # Derandomized nonce (RFC-6979 style): hash of key and message.
+        # Keeps the simulator deterministic and avoids nonce-reuse pitfalls.
+        k = hash_to_int("repro/schnorr/nonce", self.group.q, signing_key.x, message)
+        if k == 0:
+            k = 1
+        commitment = self.group.base_power(k)
+        e = self.challenge(commitment, signing_key.y, message)
+        s = (k + e * signing_key.x) % self.group.q
+        return SchnorrSignature(commitment=commitment, response=s)
+
+    def verify(self, verify_key: SchnorrVerifyKey, message: bytes, signature: object) -> bool:
+        if not isinstance(signature, SchnorrSignature):
+            return False
+        if not isinstance(verify_key, SchnorrVerifyKey):
+            return False
+        if not self.group.is_member(signature.commitment):
+            return False
+        if not self.group.is_member(verify_key.y):
+            return False
+        if not (0 <= signature.response < self.group.q):
+            return False
+        e = self.challenge(signature.commitment, verify_key.y, message)
+        lhs = self.group.base_power(signature.response)
+        rhs = self.group.multiply(signature.commitment, self.group.power(verify_key.y, e))
+        return lhs == rhs

@@ -1,0 +1,90 @@
+"""Shamir secret sharing over a prime field.
+
+The distribution substrate for the AL-model PDS (§3.2): the global signing
+key is a degree-``t`` sharing among ``n`` nodes, any ``t+1`` of which can
+reconstruct (interpolate) while any ``t`` learn nothing.
+
+Share indices are the node identifiers shifted to ``1..n`` (``x = 0`` is
+the secret itself and is never used as an evaluation point).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.field import PrimeField, Polynomial
+
+__all__ = ["Share", "ShamirDealer", "reconstruct_secret", "add_share_values"]
+
+
+@dataclass(frozen=True)
+class Share:
+    """One share: evaluation point ``x`` (node index + 1) and value ``f(x)``."""
+
+    x: int
+    value: int
+
+
+class ShamirDealer:
+    """Deals degree-``threshold`` sharings of secrets among ``n`` parties.
+
+    ``threshold`` here is the paper's ``t``: up to ``t`` shares reveal
+    nothing, ``t+1`` reconstruct.
+    """
+
+    def __init__(self, field: PrimeField, n: int, threshold: int) -> None:
+        if n < 1:
+            raise ValueError("need at least one party")
+        if not (0 <= threshold < n):
+            raise ValueError(f"threshold must be in [0, n), got t={threshold}, n={n}")
+        if n >= field.order:
+            raise ValueError("field too small for this many parties")
+        self.field = field
+        self.n = n
+        self.threshold = threshold
+
+    def share(self, secret: int, rng: random.Random) -> tuple[Polynomial, list[Share]]:
+        """Deal a fresh sharing of ``secret``; returns (polynomial, shares).
+
+        The polynomial is returned so verifiable wrappers (Feldman) can
+        commit to its coefficients; plain callers should discard it.
+        """
+        poly = self.field.random_polynomial(self.threshold, rng, constant=secret)
+        shares = [Share(x=i, value=poly.evaluate(i)) for i in range(1, self.n + 1)]
+        return poly, shares
+
+    def share_zero(self, rng: random.Random) -> tuple[Polynomial, list[Share]]:
+        """Deal a sharing of 0 — the building block of proactive refresh
+        (adding a zero-sharing re-randomizes every share while preserving
+        the secret)."""
+        return self.share(0, rng)
+
+
+def reconstruct_secret(field: PrimeField, shares: list[Share]) -> int:
+    """Interpolate the secret from at least ``t+1`` shares.
+
+    The caller is responsible for providing enough *correct* shares;
+    verifiability (rejecting corrupted shares) is Feldman's job.
+    """
+    if not shares:
+        raise ValueError("cannot reconstruct from zero shares")
+    return field.interpolate_at_zero([(s.x, s.value) for s in shares])
+
+
+def add_share_values(field: PrimeField, *shares: Share) -> Share:
+    """Point-wise sum of shares at the same ``x``.
+
+    Summing a share of ``a`` and a share of ``b`` (same degree, same x)
+    yields a share of ``a + b`` — used both for refresh (adding a
+    zero-sharing) and for joint nonce generation in threshold signing.
+    """
+    if not shares:
+        raise ValueError("need at least one share")
+    x = shares[0].x
+    if any(s.x != x for s in shares):
+        raise ValueError("shares must share an evaluation point")
+    total = 0
+    for s in shares:
+        total = field.add(total, s.value)
+    return Share(x=x, value=total)

@@ -1,0 +1,71 @@
+"""The centralized-signature interface ``CS = (CGen, CSign, CVer)``.
+
+The paper's Theorem 14 takes *any* EUF-CMA centralized signature scheme as
+a building block.  Every concrete scheme in this package (Schnorr,
+RSA-FDH, Merkle/Lamport, and the deliberately broken toy scheme used for
+negative tests) implements :class:`SignatureScheme`, so the UL-model
+constructions are parametric in the scheme exactly as in the paper.
+
+Keys and signatures are scheme-specific frozen dataclasses; messages are
+arbitrary ``bytes``.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any
+
+__all__ = ["SignatureScheme", "KeyPair", "SignatureError"]
+
+
+class SignatureError(Exception):
+    """Raised when signing is impossible (e.g. one-time keys exhausted)."""
+
+
+class KeyPair:
+    """A (verification key, signing key) pair as produced by ``CGen``."""
+
+    __slots__ = ("verify_key", "signing_key")
+
+    def __init__(self, verify_key: Any, signing_key: Any) -> None:
+        self.verify_key = verify_key
+        self.signing_key = signing_key
+
+    def __repr__(self) -> str:
+        return f"KeyPair(verify_key={self.verify_key!r})"
+
+
+class SignatureScheme(ABC):
+    """Abstract centralized signature scheme.
+
+    Implementations must be stateless apart from what is stored inside the
+    signing key (the hash-based scheme keeps its one-time-key counter
+    there), so that a key pair can be serialized into a node's memory and
+    survives the simulator's break-in/state-copy machinery.
+    """
+
+    #: short human-readable identifier, embedded in hash domains
+    name: str = "abstract"
+
+    @abstractmethod
+    def generate(self, rng: random.Random) -> KeyPair:
+        """``CGen``: sample a fresh key pair."""
+
+    @abstractmethod
+    def sign(self, signing_key: Any, message: bytes) -> Any:
+        """``CSign``: produce a signature on ``message``."""
+
+    @abstractmethod
+    def verify(self, verify_key: Any, message: bytes, signature: Any) -> bool:
+        """``CVer``: check a signature; must never raise on malformed input."""
+
+    def key_repr(self, verify_key: Any) -> tuple:
+        """Canonical, hash-encodable representation of a verification key.
+
+        Certificates (paper Fig. 3) bind a *verification key* into a
+        signed assertion, so every scheme must expose a deterministic
+        primitive-only encoding of its keys.  Raises ``TypeError`` for
+        foreign key types.
+        """
+        raise NotImplementedError(f"{self.name} does not define key_repr")

@@ -1,0 +1,67 @@
+"""A deliberately forgeable signature scheme, for negative testing only.
+
+Theorem 14 *requires* the centralized scheme to be EUF-CMA; the natural
+scientific control is to run the same protocols with a scheme that is not,
+and watch the security experiments fail.  :class:`BrokenScheme` "signs"
+with an unkeyed hash, so anyone can forge; the attack modules use
+:func:`forge` to impersonate nodes whose protocol stack was configured
+with it.
+
+Never use outside tests and the E5 baseline benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.hashing import tagged_hash
+from repro.crypto.signature import KeyPair, SignatureScheme
+
+__all__ = ["BrokenVerifyKey", "BrokenSigningKey", "BrokenSignature", "BrokenScheme", "forge"]
+
+_TAG = "repro/toy/broken"
+
+
+@dataclass(frozen=True)
+class BrokenVerifyKey:
+    key_id: bytes
+
+
+@dataclass(frozen=True)
+class BrokenSigningKey:
+    key_id: bytes
+
+
+@dataclass(frozen=True)
+class BrokenSignature:
+    digest: bytes
+
+
+class BrokenScheme(SignatureScheme):
+    """Unkeyed-hash "signatures": verification depends only on public data,
+    so :func:`forge` produces valid signatures without the signing key."""
+
+    name = "broken-toy"
+
+    def key_repr(self, verify_key: BrokenVerifyKey) -> tuple:
+        if not isinstance(verify_key, BrokenVerifyKey):
+            raise TypeError("not a broken-toy verify key")
+        return ("broken-toy", verify_key.key_id)
+
+    def generate(self, rng: random.Random) -> KeyPair:
+        key_id = rng.getrandbits(128).to_bytes(16, "big")
+        return KeyPair(BrokenVerifyKey(key_id=key_id), BrokenSigningKey(key_id=key_id))
+
+    def sign(self, signing_key: BrokenSigningKey, message: bytes) -> BrokenSignature:
+        return BrokenSignature(digest=tagged_hash(_TAG, signing_key.key_id, message))
+
+    def verify(self, verify_key: BrokenVerifyKey, message: bytes, signature: object) -> bool:
+        if not isinstance(signature, BrokenSignature) or not isinstance(verify_key, BrokenVerifyKey):
+            return False
+        return signature.digest == tagged_hash(_TAG, verify_key.key_id, message)
+
+
+def forge(verify_key: BrokenVerifyKey, message: bytes) -> BrokenSignature:
+    """Forge a valid signature from the public key alone — the whole point."""
+    return BrokenSignature(digest=tagged_hash(_TAG, verify_key.key_id, message))

@@ -1,0 +1,113 @@
+"""Key material and per-node state of the threshold Schnorr PDS.
+
+:class:`PdsPublic` is the *unchanging* public side — in the paper's UL
+construction it is exactly what goes into each node's ROM (``v_cert``).
+:class:`PdsNodeState` is the mutable per-node secret state: the current
+share of the signing key and the current Feldman commitment to the
+sharing polynomial.  Shares and commitments change at every refreshment;
+the public key never does.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.feldman import FeldmanCommitment, FeldmanDealer
+from repro.crypto.group import SchnorrGroup
+from repro.crypto.shamir import Share
+
+__all__ = ["PdsPublic", "PdsNodeState", "deal_initial_states"]
+
+
+@dataclass(frozen=True)
+class PdsPublic:
+    """The PDS scheme's public parameters: group, verification key, sizes."""
+
+    group: SchnorrGroup
+    public_key: int  # y = g^x, the paper's v_cert
+    n: int
+    threshold: int  # the paper's t: t+1 signers needed
+
+    def __post_init__(self) -> None:
+        if self.n < 2 * self.threshold + 1:
+            raise ValueError(
+                f"PDS needs n >= 2t + 1, got n={self.n}, t={self.threshold}"
+            )
+
+
+@dataclass
+class PdsNodeState:
+    """One node's mutable PDS state.
+
+    ``erasure_log`` records every share erasure (unit, kind) so tests can
+    assert the §6 erasure discipline; the erased values themselves are
+    gone.
+    """
+
+    public: PdsPublic
+    node_id: int
+    share: Share | None
+    key_commitment: FeldmanCommitment
+    unit: int = 0
+    erasure_log: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def share_index(self) -> int:
+        """Shamir evaluation point of this node (node_id + 1)."""
+        return self.node_id + 1
+
+    def share_is_valid(self) -> bool:
+        """Check the held share against the held commitment.
+
+        Both live in RAM, so after a break-in either may be corrupted;
+        the refresh protocol first re-syncs the commitment against the
+        majority (anchored at the ROM public key) and then applies this
+        check to decide whether share recovery is needed.
+        """
+        if self.share is None:
+            return False
+        if self.share.x != self.share_index:
+            return False
+        return self.key_commitment.verify_share(self.public.group, self.share)
+
+    def install_share(self, share: Share | None, commitment: FeldmanCommitment,
+                      unit: int, kind: str = "refresh") -> None:
+        """Replace share + commitment, erasing the old share (§6)."""
+        self.share = share
+        self.key_commitment = commitment
+        self.unit = unit
+        self.erasure_log.append((unit, kind))
+
+
+def deal_initial_states(
+    group: SchnorrGroup, n: int, threshold: int, rng: random.Random
+) -> tuple[PdsPublic, list[PdsNodeState]]:
+    """The key-generation protocol ``Gen``, run in the adversary-free
+    set-up phase (the paper notes it "can be replaced by an execution of a
+    centralized set-up algorithm" — this is that algorithm).
+
+    Returns the public parameters and one state per node.  The dealing
+    polynomial is discarded; only shares and the Feldman commitment
+    survive.
+    """
+    secret = group.random_scalar(rng)
+    dealer = FeldmanDealer(group, n=n, threshold=threshold)
+    dealing = dealer.deal(secret, rng)
+    public = PdsPublic(
+        group=group,
+        public_key=group.base_power(secret),
+        n=n,
+        threshold=threshold,
+    )
+    states = [
+        PdsNodeState(
+            public=public,
+            node_id=i,
+            share=dealing.shares[i],
+            key_commitment=dealing.commitment,
+        )
+        for i in range(n)
+    ]
+    return public, states

@@ -1,0 +1,445 @@
+"""Threshold Schnorr signing — the AL-model PDS signing protocol.
+
+This is the reproduction's instantiation of the paper's Theorem 13 ("if
+trapdoor permutations exist ... there exist n-node t-secure PDS schemes in
+the AL model"), following the discrete-log construction lineage the paper
+cites ([23] HJJKY proactive public-key systems): the signing key ``x`` is
+a degree-``t`` Feldman-verified Shamir sharing; a signature is a plain
+centralized Schnorr signature assembled from partial signatures.
+
+One signing session (per message) runs in four transport steps:
+
+1. **deal** — every *contributor* (a node that received the "sign m"
+   request) deals a fresh Feldman sharing of a random nonce ``d_i`` to
+   all nodes;
+2. **ack** — every node acknowledges, to all, the dealings it holds valid
+   shares of (keyed by a hash of the dealing's commitment, so inconsistent
+   dealings cannot be aggregated);
+3. **reveal** — dealers publicly reveal the sub-shares of nodes that did
+   not acknowledge them; every node then fixes the *qualified set* QUAL =
+   dealers acknowledged by at least ``n - t`` nodes under one hash;
+4. **partial** — contributors holding all QUAL dealings compute the group
+   nonce ``R = Π_{d∈QUAL} g^{d_i}``, the challenge ``e = H(R, y, m)``, and
+   broadcast the partial signature ``s_j = k_j + e·x_j`` where
+   ``k_j = Σ_{d∈QUAL} f_d(j)``.
+
+Partial signatures are *publicly verifiable* against the Feldman
+commitments (``g^{s_j} = nonce_image(j) · key_image(j)^e``), which is what
+makes the scheme robust: any ``t + 1`` verified partials interpolate (at
+0) to a standard Schnorr signature ``(R, s)`` verifiable by
+:class:`~repro.crypto.schnorr.SchnorrScheme` under the unchanging public
+key.
+
+Only nodes that were themselves asked to sign contribute nonces and
+partials, so fewer than ``t + 1`` requests can never produce a signature
+— matching the ideal process (§3.1).
+
+Robustness scope (see DESIGN.md): crashed/silent nodes, dropped or
+forged traffic, and corrupted shares are handled; a *protocol-internally
+byzantine* dealer that equivocates commitments can abort liveness of a
+session (never its safety) — full GJKR-style complaint management is
+outside the paper's own scope, which takes AL-model PDS schemes as given.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.feldman import FeldmanCommitment, FeldmanDealer
+from repro.crypto.hashing import encode_for_hash, tagged_hash
+from repro.crypto.schnorr import SchnorrScheme, SchnorrSignature, SchnorrVerifyKey
+from repro.pds.keys import PdsNodeState
+from repro.pds.transport import Transport
+from repro.sim.node import NodeContext
+
+__all__ = ["ThresholdSigner", "pds_message_bytes", "verify_pds_signature"]
+
+_SID_TAG = "repro/tsig/session"
+_COMMIT_TAG = "repro/tsig/commit"
+
+
+def pds_message_bytes(message: Any, unit: int) -> bytes:
+    """Canonical bytes of the pair ⟨m, u⟩ that the PDS signs (§3.2 binds
+    every signature to the time unit of its requests)."""
+    return encode_for_hash(("pds-sign", message, unit))
+
+
+def verify_pds_signature(public, message: Any, unit: int, signature: Any) -> bool:
+    """The scheme's ``Ver`` algorithm: plain centralized Schnorr
+    verification under the unchanging public key (usable by anyone,
+    including the paper's unbreakable verifier ``V``)."""
+    scheme = SchnorrScheme(public.group)
+    return scheme.verify(
+        SchnorrVerifyKey(y=public.public_key), pds_message_bytes(message, unit), signature
+    )
+
+
+def _commit_hash(elements: tuple[int, ...]) -> bytes:
+    return tagged_hash(_COMMIT_TAG, encode_for_hash(tuple(elements)))
+
+
+def _session_id(message_bytes: bytes) -> str:
+    return tagged_hash(_SID_TAG, message_bytes).hex()[:24]
+
+
+@dataclass
+class _Dealing:
+    commitment: FeldmanCommitment
+    my_share_value: int | None  # f_d(me+1), None until known valid
+
+
+@dataclass
+class _Session:
+    message_bytes: bytes
+    start_round: int
+    contributor: bool = False
+    dealt: bool = False
+    acked: bool = False
+    revealed: bool = False
+    partial_sent: bool = False
+    done: bool = False
+    failed: bool = False
+    my_nonce_shares: list[int] | None = None  # f_me(j+1) for all j; erased after use
+    dealings: dict[int, _Dealing] = field(default_factory=dict)
+    acks: dict[int, dict[int, bytes]] = field(default_factory=dict)  # dealer -> acker -> hash
+    qual: tuple[int, ...] | None = None
+    partials: dict[int, tuple[tuple[int, ...], int]] = field(default_factory=dict)
+    signature: SchnorrSignature | None = None
+
+
+class ThresholdSigner:
+    """Multiplexes threshold-Schnorr signing sessions over a transport.
+
+    Owner contract per round (after ``transport.begin_round``): call
+    :meth:`on_round` once, then :meth:`request` for any fresh sign
+    requests; read :meth:`completed` / :meth:`failed`.
+    """
+
+    def __init__(self, state: PdsNodeState, transport: Transport) -> None:
+        self.state = state
+        self.transport = transport
+        self.scheme = SchnorrScheme(state.public.group)
+        self.sessions: dict[str, _Session] = {}
+        self._completed: list[tuple[bytes, SchnorrSignature]] = []
+        self._failed: list[bytes] = []
+        #: rounds from session start to declared failure
+        self.deadline_steps = 6
+
+    # -- public API -------------------------------------------------------
+
+    def request(self, ctx: NodeContext, message_bytes: bytes) -> str:
+        """Join (or start) the signing session for ``message_bytes`` as a
+        contributor.  Returns the session id.
+
+        Deals the nonce sharing immediately, so all contributors asked in
+        the same round share one step schedule (the ack round counts on
+        every dealing having landed one transport delay later).
+        """
+        sid = _session_id(message_bytes)
+        session = self.sessions.get(sid)
+        if session is None:
+            session = _Session(message_bytes=message_bytes, start_round=ctx.info.round)
+            self.sessions[sid] = session
+        session.contributor = True
+        if not session.dealt and ctx.info.round == session.start_round:
+            self._deal(ctx, sid, session)
+        return sid
+
+    def completed(self) -> list[tuple[bytes, SchnorrSignature]]:
+        """Sessions that produced a signature this round."""
+        return list(self._completed)
+
+    def failed(self) -> list[bytes]:
+        """Sessions that hit their deadline without a signature this round."""
+        return list(self._failed)
+
+    def signature_for(self, message_bytes: bytes) -> SchnorrSignature | None:
+        session = self.sessions.get(_session_id(message_bytes))
+        return session.signature if session else None
+
+    # -- round processing ----------------------------------------------------
+
+    def on_round(self, ctx: NodeContext) -> None:
+        self._completed = []
+        self._failed = []
+        self._ingest(ctx)
+        delay = self.transport.delay
+        for sid, session in list(self.sessions.items()):
+            if session.done or session.failed:
+                continue
+            offset = ctx.info.round - session.start_round
+            if session.contributor and not session.dealt and offset >= 0:
+                self._deal(ctx, sid, session)
+            if not session.acked and offset >= delay:
+                self._send_acks(ctx, sid, session)
+            if offset >= 2 * delay and session.qual is None:
+                self._fix_qual(session)
+                if session.contributor and not session.revealed:
+                    self._send_reveals(ctx, sid, session)
+            if (
+                session.contributor
+                and not session.partial_sent
+                and session.qual is not None
+                and offset >= 3 * delay
+            ):
+                self._send_partial(ctx, sid, session)
+            if session.qual is not None and not session.done:
+                self._try_combine(sid, session)
+            if not session.done and offset >= self.deadline_steps * delay:
+                session.failed = True
+                self._failed.append(session.message_bytes)
+
+    # -- inbound ------------------------------------------------------------
+
+    def _ingest(self, ctx: NodeContext) -> None:
+        for accepted in self.transport.accepted():
+            body = accepted.body
+            if not isinstance(body, tuple) or len(body) < 2:
+                continue
+            kind = body[0]
+            if kind == "ts-deal":
+                self._on_deal(ctx, accepted.sender, body)
+            elif kind == "ts-ack":
+                self._on_ack(accepted.sender, body)
+            elif kind == "ts-reveal":
+                self._on_reveal(ctx, accepted.sender, body)
+            elif kind == "ts-partial":
+                self._on_partial(accepted.sender, body)
+
+    def _get_session(self, ctx: NodeContext, sid: str, message_bytes: bytes) -> _Session:
+        session = self.sessions.get(sid)
+        if session is None:
+            # we learn of the session one transport delay after it started
+            session = _Session(
+                message_bytes=message_bytes,
+                start_round=ctx.info.round - self.transport.delay,
+            )
+            self.sessions[sid] = session
+        return session
+
+    def _on_deal(self, ctx: NodeContext, dealer: int, body: tuple) -> None:
+        try:
+            _, sid, message_bytes, elements, share_value = body
+        except ValueError:
+            return
+        if not isinstance(message_bytes, bytes) or _session_id(message_bytes) != sid:
+            return
+        session = self._get_session(ctx, sid, message_bytes)
+        if dealer in session.dealings:
+            return  # first dealing wins
+        commitment = FeldmanCommitment(elements=tuple(elements))
+        if commitment.degree_bound != self.state.public.threshold:
+            return
+        group = self.state.public.group
+        valid = isinstance(share_value, int) and commitment.verify_share(
+            group, _share_at(self.state.share_index, share_value)
+        )
+        session.dealings[dealer] = _Dealing(
+            commitment=commitment, my_share_value=share_value if valid else None
+        )
+
+    def _on_ack(self, acker: int, body: tuple) -> None:
+        try:
+            _, sid, ack_list = body
+        except ValueError:
+            return
+        session = self.sessions.get(sid)
+        if session is None:
+            return
+        for item in ack_list:
+            try:
+                dealer, commit_hash = item
+            except (TypeError, ValueError):
+                continue
+            session.acks.setdefault(dealer, {}).setdefault(acker, commit_hash)
+
+    def _on_reveal(self, ctx: NodeContext, dealer: int, body: tuple) -> None:
+        try:
+            _, sid, revealed, elements = body
+        except ValueError:
+            return
+        session = self.sessions.get(sid)
+        if session is None:
+            return
+        commitment = FeldmanCommitment(elements=tuple(elements))
+        group = self.state.public.group
+        existing = session.dealings.get(dealer)
+        if existing is not None and existing.my_share_value is not None:
+            return  # we already hold a valid share from this dealer
+        for item in revealed:
+            try:
+                x, value = item
+            except (TypeError, ValueError):
+                continue
+            if x == self.state.share_index and isinstance(value, int):
+                if commitment.verify_share(group, _share_at(x, value)):
+                    session.dealings[dealer] = _Dealing(
+                        commitment=commitment, my_share_value=value
+                    )
+
+    def _on_partial(self, emitter: int, body: tuple) -> None:
+        try:
+            _, sid, share_index, qual, value = body
+        except ValueError:
+            return
+        session = self.sessions.get(sid)
+        if session is None or not isinstance(value, int):
+            return
+        session.partials.setdefault(share_index, (tuple(qual), value))
+
+    # -- outbound steps ----------------------------------------------------------
+
+    def _deal(self, ctx: NodeContext, sid: str, session: _Session) -> None:
+        session.dealt = True
+        public = self.state.public
+        dealer = FeldmanDealer(public.group, n=public.n, threshold=public.threshold)
+        nonce = public.group.random_scalar(ctx.rng)
+        dealing = dealer.deal(nonce, ctx.rng)
+        session.my_nonce_shares = [share.value for share in dealing.shares]
+        session.dealings[ctx.node_id] = _Dealing(
+            commitment=dealing.commitment,
+            my_share_value=dealing.shares[self.state.share_index - 1].value,
+        )
+        for receiver in range(public.n):
+            if receiver == ctx.node_id:
+                continue
+            self.transport.send(
+                ctx,
+                receiver,
+                (
+                    "ts-deal",
+                    sid,
+                    session.message_bytes,
+                    tuple(dealing.commitment.elements),
+                    dealing.shares[receiver].value,
+                ),
+            )
+
+    def _send_acks(self, ctx: NodeContext, sid: str, session: _Session) -> None:
+        session.acked = True
+        ack_list = []
+        for dealer, dealing in session.dealings.items():
+            if dealing.my_share_value is not None:
+                commit_hash = _commit_hash(dealing.commitment.elements)
+                ack_list.append((dealer, commit_hash))
+                session.acks.setdefault(dealer, {})[ctx.node_id] = commit_hash
+        self.transport.send_to_all(ctx, ("ts-ack", sid, tuple(ack_list)))
+
+    def _fix_qual(self, session: _Session) -> None:
+        threshold = self.state.public.n - self.state.public.threshold
+        qual = []
+        for dealer, acks in session.acks.items():
+            counts: dict[bytes, int] = {}
+            for commit_hash in acks.values():
+                counts[commit_hash] = counts.get(commit_hash, 0) + 1
+            if any(count >= threshold for count in counts.values()):
+                qual.append(dealer)
+        session.qual = tuple(sorted(qual))
+
+    def _send_reveals(self, ctx: NodeContext, sid: str, session: _Session) -> None:
+        session.revealed = True
+        if session.my_nonce_shares is None:
+            return
+        my_acks = session.acks.get(ctx.node_id, {})
+        missing = [
+            (j + 1, session.my_nonce_shares[j])
+            for j in range(self.state.public.n)
+            if j != ctx.node_id and (j not in my_acks)
+        ]
+        if not missing:
+            return
+        commitment = session.dealings[ctx.node_id].commitment
+        self.transport.send_to_all(
+            ctx, ("ts-reveal", sid, tuple(missing), tuple(commitment.elements))
+        )
+
+    def _send_partial(self, ctx: NodeContext, sid: str, session: _Session) -> None:
+        session.partial_sent = True
+        qual = session.qual or ()
+        if not qual:
+            return
+        if any(
+            d not in session.dealings or session.dealings[d].my_share_value is None
+            for d in qual
+        ):
+            return  # missing a QUAL dealing; cannot contribute
+        if self.state.share is None:
+            return
+        group = self.state.public.group
+        q = group.q
+        nonce_share = sum(session.dealings[d].my_share_value for d in qual) % q
+        commitment_r = self._group_nonce(session, qual)
+        challenge = self.scheme.challenge(
+            commitment_r, self.state.public.public_key, session.message_bytes
+        )
+        s_value = (nonce_share + challenge * self.state.share.value) % q
+        # the nonce shares have served their purpose: erase them (§6)
+        session.my_nonce_shares = None
+        self.state.erasure_log.append((self.state.unit, f"nonce:{sid}"))
+        body = ("ts-partial", sid, self.state.share_index, qual, s_value)
+        session.partials.setdefault(self.state.share_index, (qual, s_value))
+        self.transport.send_to_all(ctx, body)
+
+    # -- combination --------------------------------------------------------------
+
+    def _group_nonce(self, session: _Session, qual: tuple[int, ...]) -> int:
+        group = self.state.public.group
+        acc = group.identity
+        for dealer in qual:
+            acc = group.multiply(acc, session.dealings[dealer].commitment.public_constant)
+        return acc
+
+    def _verify_partial(
+        self, session: _Session, share_index: int, qual: tuple[int, ...], value: int
+    ) -> bool:
+        group = self.state.public.group
+        if any(d not in session.dealings for d in qual):
+            return False
+        commitment_r = self._group_nonce(session, qual)
+        challenge = self.scheme.challenge(
+            commitment_r, self.state.public.public_key, session.message_bytes
+        )
+        nonce_image = group.identity
+        for dealer in qual:
+            nonce_image = group.multiply(
+                nonce_image,
+                session.dealings[dealer].commitment.share_image(group, share_index),
+            )
+        key_image = self.state.key_commitment.share_image(group, share_index)
+        lhs = group.base_power(value)
+        rhs = group.multiply(nonce_image, group.power(key_image, challenge))
+        return lhs == rhs
+
+    def _try_combine(self, sid: str, session: _Session) -> None:
+        by_qual: dict[tuple[int, ...], list[tuple[int, int]]] = {}
+        for share_index, (qual, value) in session.partials.items():
+            if self._verify_partial(session, share_index, qual, value):
+                by_qual.setdefault(qual, []).append((share_index, value))
+        needed = self.state.public.threshold + 1
+        field = self.state.public.group.scalar_field
+        for qual, points in by_qual.items():
+            if len(points) < needed:
+                continue
+            subset = sorted(points)[:needed]
+            s_value = field.interpolate_at_zero(subset)
+            signature = SchnorrSignature(
+                commitment=self._group_nonce(session, qual), response=s_value
+            )
+            if verify_pds_signature_bytes(self.state.public, session.message_bytes, signature):
+                session.signature = signature
+                session.done = True
+                self._completed.append((session.message_bytes, signature))
+                return
+
+
+def verify_pds_signature_bytes(public, message_bytes: bytes, signature: Any) -> bool:
+    """``Ver`` on pre-canonicalized bytes (internal fast path)."""
+    scheme = SchnorrScheme(public.group)
+    return scheme.verify(SchnorrVerifyKey(y=public.public_key), message_bytes, signature)
+
+
+def _share_at(x: int, value: int):
+    from repro.crypto.shamir import Share
+
+    return Share(x=x, value=value)

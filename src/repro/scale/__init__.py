@@ -1,0 +1,12 @@
+"""Scalability extensions from the paper's §6 discussion.
+
+- :mod:`repro.scale.partition` — the two-level √n-neighborhood scheme and
+  its tolerance/complexity trade-off.
+- the O(nt) DISPERSE relaxation lives directly in
+  :class:`repro.core.disperse.DisperseService` (``relay_fanout``), wired
+  through :class:`repro.core.uls.UlsProgram`.
+"""
+
+from repro.scale.partition import PartitionPlan, flat_tolerance, simulate_cluster
+
+__all__ = ["PartitionPlan", "flat_tolerance", "simulate_cluster"]

@@ -1,0 +1,120 @@
+"""Two-level partition scalability (paper §6 "Scalability issues").
+
+For very large networks the paper proposes partitioning the ``n`` nodes
+into ``O(√n)`` neighborhoods of ``O(√n)`` nodes, each running its own PDS
+instance, with neighborhood verification keys signed at start-up by a
+global authority and a higher-level PDS for disaster recovery.
+
+The trade-off the paper quantifies: a flat scheme tolerates break-ins of
+up to ``⌊(n-1)/2⌋`` nodes per unit, while the partitioned scheme only
+tolerates about ``n/4`` — compromising the system needs a majority of
+neighborhoods, each of which costs a majority of its ``√n`` members — in
+exchange for per-refresh message complexity dropping from Θ(n³)-ish to
+``k`` independent Θ(m³) instances (``k·m = n``, ``m ≈ √n``).
+
+:class:`PartitionPlan` computes the combinatorics exactly for any
+partition; :func:`simulate_cluster` runs a *real* ULS instance of one
+neighborhood so the message counts in experiment E9 are measured, not
+modelled.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.metrics import message_stats
+from repro.core.uls import UlsProgram, build_uls_states, uls_schedule
+from repro.crypto.group import SchnorrGroup
+from repro.crypto.signature import SignatureScheme
+from repro.sim.adversary_api import PassiveAdversary
+from repro.sim.runner import ULRunner
+
+__all__ = ["PartitionPlan", "flat_tolerance", "simulate_cluster"]
+
+
+def flat_tolerance(n: int) -> int:
+    """Break-ins per unit a flat n-node scheme tolerates (n >= 2t+1)."""
+    return (n - 1) // 2
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """A concrete partition of ``n`` nodes into neighborhoods."""
+
+    clusters: tuple[tuple[int, ...], ...]
+
+    @classmethod
+    def sqrt_partition(cls, n: int) -> "PartitionPlan":
+        """The paper's suggestion: ~√n clusters of ~√n nodes."""
+        if n < 4:
+            raise ValueError("partitioning needs at least 4 nodes")
+        size = max(2, round(math.isqrt(n)))
+        clusters = []
+        start = 0
+        while start < n:
+            clusters.append(tuple(range(start, min(n, start + size))))
+            start += size
+        # fold a trailing undersized cluster into its predecessor
+        if len(clusters) > 1 and len(clusters[-1]) < 2:
+            clusters[-2] = clusters[-2] + clusters[-1]
+            clusters.pop()
+        return cls(clusters=tuple(clusters))
+
+    @property
+    def n(self) -> int:
+        return sum(len(c) for c in self.clusters)
+
+    @property
+    def cluster_count(self) -> int:
+        return len(self.clusters)
+
+    def cluster_threshold(self, index: int) -> int:
+        """The PDS threshold t inside one neighborhood (m >= 2t+1)."""
+        return (len(self.clusters[index]) - 1) // 2
+
+    def cluster_compromise_cost(self, index: int) -> int:
+        """Break-ins needed to exceed one neighborhood's threshold."""
+        return self.cluster_threshold(index) + 1
+
+    def system_compromise_cost(self) -> int:
+        """Minimum simultaneous break-ins that compromise the two-level
+        system: a majority of neighborhoods, cheapest first."""
+        costs = sorted(
+            self.cluster_compromise_cost(i) for i in range(self.cluster_count)
+        )
+        needed_clusters = self.cluster_count // 2 + 1
+        return sum(costs[:needed_clusters])
+
+    def tolerance(self) -> int:
+        """Break-ins per unit the partitioned system survives."""
+        return self.system_compromise_cost() - 1
+
+    def describe(self) -> dict:
+        return {
+            "n": self.n,
+            "clusters": self.cluster_count,
+            "cluster_sizes": [len(c) for c in self.clusters],
+            "tolerance": self.tolerance(),
+            "flat_tolerance": flat_tolerance(self.n),
+        }
+
+
+def simulate_cluster(
+    group: SchnorrGroup,
+    scheme: SignatureScheme,
+    size: int,
+    units: int = 2,
+    seed: int = 0,
+):
+    """Run one neighborhood's ULS instance and return (execution, stats).
+
+    Used by E9 to *measure* the per-neighborhood refresh cost that the
+    partition trades global tolerance for.
+    """
+    t = (size - 1) // 2
+    public, states, keys = build_uls_states(group, scheme, size, t, seed=seed)
+    programs = [UlsProgram(states[i], scheme, keys[i]) for i in range(size)]
+    runner = ULRunner(programs, PassiveAdversary(), uls_schedule(), s=max(1, t), seed=seed)
+    execution = runner.run(units=units)
+    return execution, message_stats(execution)

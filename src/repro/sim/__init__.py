@@ -1,0 +1,36 @@
+"""Synchronous-network simulation substrate (paper §2).
+
+Implements the paper's computational model directly: rounds, time units
+with overlapping refreshment phases, per-round fresh randomness, ROM,
+break-ins with full state exposure, rushing adversaries, and both the
+authenticated-links (AL) and unauthenticated-links (UL) delivery models.
+"""
+
+from repro.sim.clock import Phase, RoundInfo, Schedule
+from repro.sim.messages import Envelope
+from repro.sim.node import ALERT, Node, NodeContext, NodeProgram
+from repro.sim.randomness import RandomnessSource
+from repro.sim.rom import Rom, RomViolation
+from repro.sim.runner import ALRunner, Runner, ULRunner
+from repro.sim.transcript import COMPROMISED, RECOVERED, Execution, RoundRecord
+
+__all__ = [
+    "Phase",
+    "RoundInfo",
+    "Schedule",
+    "Envelope",
+    "ALERT",
+    "Node",
+    "NodeContext",
+    "NodeProgram",
+    "RandomnessSource",
+    "Rom",
+    "RomViolation",
+    "ALRunner",
+    "Runner",
+    "ULRunner",
+    "Execution",
+    "RoundRecord",
+    "COMPROMISED",
+    "RECOVERED",
+]

@@ -1,0 +1,117 @@
+"""Time structure: communication rounds, time units and refreshment phases.
+
+The paper (§2.1, Fig. 1) divides the lifetime of the system into *time
+units* separated by short *refreshment phases*; a refreshment phase
+formally belongs to both adjacent units.  The simulator flattens this into
+a single global round counter and a :class:`Schedule` that labels every
+round with ``(time_unit, phase, index_in_phase)``:
+
+- rounds ``[0, setup_rounds)`` are the adversary-free **set-up phase**
+  (time unit 0);
+- unit 0 continues with ``normal_rounds`` normal rounds;
+- every unit ``u >= 1`` starts with ``refresh_rounds`` refreshment rounds
+  followed by ``normal_rounds`` normal rounds.
+
+Protocols decide key lifetimes themselves (e.g. ULS Part (I) runs during
+the refresh phase of unit ``u`` but authenticates with unit ``u-1`` keys,
+the paper's "overlap").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Phase", "RoundInfo", "Schedule"]
+
+
+class Phase(enum.Enum):
+    """What kind of round this is."""
+
+    SETUP = "setup"
+    REFRESH = "refresh"
+    NORMAL = "normal"
+
+
+@dataclass(frozen=True)
+class RoundInfo:
+    """Full description of one communication round."""
+
+    round: int
+    time_unit: int
+    phase: Phase
+    index_in_phase: int
+    phase_length: int
+
+    @property
+    def is_phase_start(self) -> bool:
+        return self.index_in_phase == 0
+
+    @property
+    def is_phase_end(self) -> bool:
+        return self.index_in_phase == self.phase_length - 1
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """Immutable description of the round layout (see module docstring)."""
+
+    setup_rounds: int
+    refresh_rounds: int
+    normal_rounds: int
+
+    def __post_init__(self) -> None:
+        if self.setup_rounds < 1:
+            raise ValueError("need at least one set-up round")
+        if self.refresh_rounds < 1:
+            raise ValueError("need at least one refreshment round")
+        if self.normal_rounds < 1:
+            raise ValueError("need at least one normal round per unit")
+
+    @property
+    def unit_rounds(self) -> int:
+        """Rounds per time unit for units >= 1."""
+        return self.refresh_rounds + self.normal_rounds
+
+    def total_rounds(self, units: int) -> int:
+        """Number of rounds needed to simulate time units ``0 .. units-1``."""
+        if units < 1:
+            raise ValueError("need at least time unit 0")
+        return self.setup_rounds + self.normal_rounds + (units - 1) * self.unit_rounds
+
+    def info(self, round_number: int) -> RoundInfo:
+        """Label a global round number."""
+        if round_number < 0:
+            raise ValueError("round numbers start at 0")
+        if round_number < self.setup_rounds:
+            return RoundInfo(round_number, 0, Phase.SETUP, round_number, self.setup_rounds)
+        offset = round_number - self.setup_rounds
+        if offset < self.normal_rounds:
+            return RoundInfo(round_number, 0, Phase.NORMAL, offset, self.normal_rounds)
+        offset -= self.normal_rounds
+        unit = 1 + offset // self.unit_rounds
+        within = offset % self.unit_rounds
+        if within < self.refresh_rounds:
+            return RoundInfo(round_number, unit, Phase.REFRESH, within, self.refresh_rounds)
+        return RoundInfo(
+            round_number, unit, Phase.NORMAL, within - self.refresh_rounds, self.normal_rounds
+        )
+
+    def refresh_start(self, unit: int) -> int:
+        """First round of unit ``unit``'s refreshment phase (unit >= 1)."""
+        if unit < 1:
+            raise ValueError("unit 0 has no refreshment phase")
+        return self.setup_rounds + self.normal_rounds + (unit - 1) * self.unit_rounds
+
+    def first_normal_round(self, unit: int) -> int:
+        """First normal (post-refresh) round of a unit."""
+        if unit == 0:
+            return self.setup_rounds
+        return self.refresh_start(unit) + self.refresh_rounds
+
+    def rounds_of_unit(self, unit: int) -> range:
+        """All rounds belonging to a unit (refresh phase included)."""
+        if unit == 0:
+            return range(0, self.setup_rounds + self.normal_rounds)
+        start = self.refresh_start(unit)
+        return range(start, start + self.unit_rounds)

@@ -1,0 +1,43 @@
+"""Wire-level message representation.
+
+An :class:`Envelope` is one message on one link in one round.  The
+``sender`` field is the *claimed* source: in the UL model the adversary
+can inject envelopes with any claimed sender, so receiving programs must
+never treat it as authenticated — that is exactly what the paper's
+CERTIFY/VER-CERT layer is for.
+
+``channel`` is a routing tag (e.g. ``"disperse"``, ``"pa/3"``) that lets a
+node multiplex many concurrent sub-protocols over the same link, mirroring
+the paper's parallel protocol copies (§4.2.3 step 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+__all__ = ["Envelope"]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One message on one link."""
+
+    sender: int
+    receiver: int
+    channel: str
+    payload: Any
+    round_sent: int
+
+    def redirect(self, receiver: int) -> "Envelope":
+        """Copy of this envelope addressed to a different node (used by
+        adversaries that duplicate or misroute traffic)."""
+        return replace(self, receiver=receiver)
+
+    def with_payload(self, payload: Any) -> "Envelope":
+        """Copy with a modified payload (adversarial tampering)."""
+        return replace(self, payload=payload)
+
+    def describe(self) -> str:
+        """Short human-readable form for logs."""
+        return f"[r{self.round_sent} {self.sender}->{self.receiver} {self.channel}]"

@@ -1,0 +1,134 @@
+"""Nodes and node programs.
+
+A :class:`NodeProgram` is the per-node protocol code (the paper's π,
+stored in ROM: the simulator never lets an adversary replace it).  All
+*mutable* protocol state must live in attributes of the program object —
+on a break-in the adversary receives the program object itself and may
+read and mutate every attribute, which models the paper's "the adversary
+learns the current internal state ... and may also modify it".
+
+A :class:`NodeContext` is handed to the program every round; it carries
+the round label, the node's fresh per-round randomness ``r_{i,w}``, the
+ROM, any external inputs for this round (the paper's ``x_{i,w}``), and
+the send/output effectors.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.sim.clock import Phase, RoundInfo
+from repro.sim.messages import Envelope
+from repro.sim.rom import Rom
+
+__all__ = ["NodeContext", "NodeProgram", "Node", "ALERT"]
+
+#: The distinguished alert output entry (Definition 11).
+ALERT = ("alert",)
+
+
+class NodeContext:
+    """Per-round execution context for one node (see module docstring)."""
+
+    def __init__(
+        self,
+        node_id: int,
+        n: int,
+        info: RoundInfo,
+        rng: Any,
+        rom: Rom,
+        external_inputs: list[Any],
+    ) -> None:
+        self.node_id = node_id
+        self.n = n
+        self.info = info
+        self.rng = rng
+        self.rom = rom
+        self.external_inputs = external_inputs
+        self.outbox: list[Envelope] = []
+        self.outputs: list[Any] = []
+
+    # -- effectors ---------------------------------------------------------
+
+    def send(self, receiver: int, channel: str, payload: Any) -> None:
+        """Queue a message for delivery at the start of the next round."""
+        if receiver == self.node_id:
+            raise ValueError("no self-links; handle local delivery in the program")
+        if not (0 <= receiver < self.n):
+            raise ValueError(f"receiver {receiver} out of range")
+        self.outbox.append(
+            Envelope(
+                sender=self.node_id,
+                receiver=receiver,
+                channel=channel,
+                payload=payload,
+                round_sent=self.info.round,
+            )
+        )
+
+    def broadcast(self, channel: str, payload: Any) -> None:
+        """Send the same payload to every other node (n-1 point-to-point
+        messages; *not* a consistent-broadcast primitive)."""
+        for receiver in range(self.n):
+            if receiver != self.node_id:
+                self.send(receiver, channel, payload)
+
+    def output(self, entry: Any) -> None:
+        """Append an entry to this node's local output (the global output
+        of the execution concatenates these, §2.1)."""
+        self.outputs.append(entry)
+
+    def alert(self) -> None:
+        """Emit the special alert signal (Definition 11)."""
+        self.output(ALERT)
+
+    def write_rom(self, key: str, value: Any) -> None:
+        """Write to the node's data ROM — only legal during set-up (§2.2)."""
+        if self.info.phase is not Phase.SETUP:
+            raise PermissionError("ROM writes are only allowed during the set-up phase")
+        self.rom.write(key, value)
+
+
+class NodeProgram(ABC):
+    """Abstract per-node protocol.
+
+    Subclasses must call ``super().__init__()`` and keep all mutable state
+    on ``self`` so break-ins capture it.
+    """
+
+    def __init__(self) -> None:
+        self.node_id: int = -1
+        self.n: int = 0
+
+    def bind(self, node_id: int, n: int) -> None:
+        """Called once by the runner before the first round."""
+        self.node_id = node_id
+        self.n = n
+
+    @abstractmethod
+    def step(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        """Execute one communication round.
+
+        ``inbox`` holds the messages delivered at the start of this round
+        (i.e. sent in the previous round).  Sends and outputs go through
+        ``ctx``.
+        """
+
+
+class Node:
+    """Runtime wrapper: program + ROM + output log + break-in status."""
+
+    def __init__(self, node_id: int, program: NodeProgram, n: int) -> None:
+        self.node_id = node_id
+        self.program = program
+        self.rom = Rom()
+        self.broken = False
+        self.outputs: list[tuple[int, Any]] = []  # (round, entry)
+        self.pending_inbox: list[Envelope] = []
+        self.external_inputs: list[Any] = []
+        program.bind(node_id, n)
+
+    def record_outputs(self, round_number: int, entries: list[Any]) -> None:
+        for entry in entries:
+            self.outputs.append((round_number, entry))

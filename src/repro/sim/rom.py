@@ -1,0 +1,56 @@
+"""Read-only memory, the paper's trust anchor (§1.1, §2.2, §6).
+
+Each node carries a small ROM that the adversary can read but never
+modify.  The protocol *code* is implicitly ROM (the simulator never lets
+an adversary replace a node's program object); this class models the
+*data* ROM that is written once at the end of the set-up phase — in the
+paper it holds the global PDS verification key ``v_cert``.
+
+The runner freezes every ROM when the set-up phase ends; later writes
+raise :class:`RomViolation`, and the adversary API exposes only reads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+__all__ = ["Rom", "RomViolation"]
+
+
+class RomViolation(Exception):
+    """Attempted write to frozen read-only memory."""
+
+
+class Rom:
+    """Write-once-then-frozen key/value store."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, Any] = {}
+        self._frozen = False
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Make all future writes fail.  Idempotent."""
+        self._frozen = True
+
+    def write(self, key: str, value: Any) -> None:
+        """Store a value; only legal before :meth:`freeze`."""
+        if self._frozen:
+            raise RomViolation(f"ROM is frozen; cannot write {key!r}")
+        self._data[key] = value
+
+    def read(self, key: str) -> Any:
+        """Read a stored value (KeyError if absent)."""
+        return self._data[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._data.keys())

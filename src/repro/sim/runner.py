@@ -1,0 +1,296 @@
+"""The synchronous execution engine for the AL and UL models (§2.1–2.2).
+
+One :class:`Runner` drives ``n`` node programs, an adversary and a
+schedule through a sequence of communication rounds and produces an
+:class:`~repro.sim.transcript.Execution`.
+
+Round anatomy (messages sent at round ``w`` arrive at round ``w+1``):
+
+1. every non-broken node's program runs on the inbox delivered this round
+   and queues its outgoing messages (broken nodes' programs do not run —
+   the adversary speaks for them);
+2. outside the set-up phase the adversary observes all queued traffic
+   (*rushing*), may break into / leave nodes, and may queue messages in
+   the name of broken nodes;
+3. delivery is resolved: faithfully in the AL model; by the adversary's
+   delivery plan in the UL model (modify / delete / duplicate / inject);
+4. link reliability is derived by diffing sent vs. delivered traffic
+   (Definition 4), the s-operational set is advanced (Definition 5), and
+   system-log lines ("compromised"/"recovered") are appended when a
+   node's status changes.
+
+The set-up phase is adversary-free (the paper's assumption); all ROMs are
+frozen when it ends.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.adversary_api import Adversary, AdversaryApi, faithful_delivery
+from repro.adversary.connectivity import ConnectivityTracker
+from repro.sim.clock import Phase, RoundInfo, Schedule
+from repro.sim.messages import Envelope
+from repro.sim.node import Node, NodeContext, NodeProgram
+from repro.sim.randomness import RandomnessSource
+from repro.sim.transcript import COMPROMISED, RECOVERED, Execution, RoundRecord
+
+__all__ = ["Runner", "ALRunner", "ULRunner"]
+
+InputProvider = Callable[[int, RoundInfo], list[Any]]
+
+
+class Runner:
+    """Shared machinery; use :class:`ALRunner` or :class:`ULRunner`."""
+
+    model = "abstract"
+
+    def __init__(
+        self,
+        programs: list[NodeProgram],
+        adversary: Adversary,
+        schedule: Schedule,
+        seed: int | str = 0,
+        input_provider: InputProvider | None = None,
+    ) -> None:
+        self.n = len(programs)
+        if self.n < 2:
+            raise ValueError("need at least two nodes")
+        self.schedule = schedule
+        self.seed = seed
+        self.randomness = RandomnessSource(seed)
+        self.adversary = adversary
+        self.nodes = [Node(i, program, self.n) for i, program in enumerate(programs)]
+        self._input_provider = input_provider
+        self._scheduled_inputs: dict[tuple[int, int], list[Any]] = {}
+        self.execution = Execution(
+            n=self.n, schedule=schedule, seed=seed, model=self.model,
+            node_outputs=[[] for _ in range(self.n)],
+        )
+        self._prev_status: list[bool] = [True] * self.n  # True = "good" last round
+
+    # -- driver-facing API -----------------------------------------------------
+
+    def add_external_input(self, node_id: int, round_number: int, value: Any) -> None:
+        """Schedule the paper's ``x_{i,w}``: an input handed to node
+        ``node_id`` at the start of round ``round_number``."""
+        self._scheduled_inputs.setdefault((node_id, round_number), []).append(value)
+
+    def run(self, units: int) -> Execution:
+        """Simulate time units ``0 .. units-1`` and return the execution."""
+        total = self.schedule.total_rounds(units)
+        self.adversary.begin(self.n, self.schedule, self.randomness.adversary())
+        for round_number in range(total):
+            self._run_round(self.schedule.info(round_number))
+        self.execution.adversary_output.extend(self.adversary.finish())
+        return self.execution
+
+    # -- internals ---------------------------------------------------------------
+
+    def _inputs_for(self, node_id: int, info: RoundInfo) -> list[Any]:
+        inputs = list(self._scheduled_inputs.get((node_id, info.round), []))
+        if self._input_provider is not None:
+            inputs.extend(self._input_provider(node_id, info))
+        return inputs
+
+    def _run_round(self, info: RoundInfo) -> None:
+        # 1. honest computation
+        traffic: list[Envelope] = []
+        for node in self.nodes:
+            inbox = node.pending_inbox
+            node.pending_inbox = []
+            if node.broken:
+                continue  # broken nodes have empty output; adversary acts for them
+            ctx = NodeContext(
+                node_id=node.node_id,
+                n=self.n,
+                info=info,
+                rng=self.randomness.node_round(node.node_id, info.round),
+                rom=node.rom,
+                external_inputs=self._inputs_for(node.node_id, info),
+            )
+            node.program.step(ctx, inbox)
+            traffic.extend(ctx.outbox)
+            node.record_outputs(info.round, ctx.outputs)
+            self.execution.node_outputs[node.node_id].extend(
+                (info.round, entry) for entry in ctx.outputs
+            )
+
+        # 2-3. adversary interaction + delivery
+        if info.phase is Phase.SETUP:
+            plan = faithful_delivery(tuple(traffic), self.n)
+            broken = frozenset()
+            if info.is_phase_end:
+                for node in self.nodes:
+                    node.rom.freeze()
+        else:
+            api = AdversaryApi(self.nodes, info, self.randomness.stream("api", info.round))
+            self.adversary.on_round(api, info, tuple(traffic))
+            traffic.extend(api.injected)
+            self.execution.adversary_output.extend(api.output_entries)
+            broken = frozenset(i for i, node in enumerate(self.nodes) if node.broken)
+            plan = self._resolve_delivery(api, info, tuple(traffic))
+
+        self._sanitize_plan(plan)
+        for node in self.nodes:
+            node.pending_inbox = plan.get(node.node_id, [])
+
+        # 4. accounting
+        unreliable = self._unreliable_links(tuple(traffic), plan, broken)
+        operational = self._operational_set(info, broken, unreliable)
+        self._log_status_changes(info, broken, operational)
+        self.execution.records.append(
+            RoundRecord(
+                info=info,
+                sent=tuple(traffic),
+                delivered={i: tuple(plan.get(i, [])) for i in range(self.n)},
+                broken=broken,
+                operational=operational,
+                unreliable_links=unreliable,
+            )
+        )
+
+    def _sanitize_plan(self, plan: dict[int, list[Envelope]]) -> None:
+        for receiver, envelopes in plan.items():
+            for envelope in envelopes:
+                if envelope.receiver != receiver:
+                    raise ValueError(
+                        f"delivery plan mismatch: {envelope.describe()} in inbox of {receiver}"
+                    )
+                if envelope.sender == receiver:
+                    raise ValueError("self-links do not exist in the model")
+
+    def _unreliable_links(
+        self,
+        traffic: tuple[Envelope, ...],
+        plan: dict[int, list[Envelope]],
+        broken: frozenset[int],
+    ) -> frozenset[frozenset[int]]:
+        """Definition 4, per round: a link {i, j} is unreliable if an
+        endpoint is broken or traffic on either direction was not delivered
+        exactly (as a multiset)."""
+        sent_by_link: dict[tuple[int, int], list[Envelope]] = {}
+        for envelope in traffic:
+            sent_by_link.setdefault((envelope.sender, envelope.receiver), []).append(envelope)
+        delivered_by_link: dict[tuple[int, int], list[Envelope]] = {}
+        for receiver, envelopes in plan.items():
+            for envelope in envelopes:
+                delivered_by_link.setdefault((envelope.sender, receiver), []).append(envelope)
+
+        unreliable: set[frozenset[int]] = set()
+        for i in broken:
+            for j in range(self.n):
+                if j != i:
+                    unreliable.add(frozenset((i, j)))
+        directions = set(sent_by_link) | set(delivered_by_link)
+        for (src, dst) in directions:
+            link = frozenset((src, dst))
+            if link in unreliable:
+                continue
+            if not _same_multiset(sent_by_link.get((src, dst), []),
+                                  delivered_by_link.get((src, dst), [])):
+                unreliable.add(link)
+        return frozenset(unreliable)
+
+    # -- model-specific hooks ------------------------------------------------------
+
+    def _resolve_delivery(
+        self, api: AdversaryApi, info: RoundInfo, traffic: tuple[Envelope, ...]
+    ) -> dict[int, list[Envelope]]:
+        raise NotImplementedError
+
+    def _operational_set(
+        self,
+        info: RoundInfo,
+        broken: frozenset[int],
+        unreliable: frozenset[frozenset[int]],
+    ) -> frozenset[int]:
+        raise NotImplementedError
+
+    def _log_status_changes(
+        self, info: RoundInfo, broken: frozenset[int], operational: frozenset[int]
+    ) -> None:
+        """Append "compromised"/"recovered" lines on status transitions.
+
+        In the AL model the status is simply non-broken (§2.1); in the UL
+        model it is s-operational (§2.2) — a node that becomes
+        s-disconnected is logged as compromised even though it is not
+        broken.
+        """
+        for node_id in range(self.n):
+            good = node_id in operational
+            if good != self._prev_status[node_id]:
+                event = RECOVERED if good else COMPROMISED
+                self.execution.system_log.append((info.round, node_id, event))
+                self._prev_status[node_id] = good
+
+
+def _same_multiset(a: list[Envelope], b: list[Envelope]) -> bool:
+    if len(a) != len(b):
+        return False
+    remaining = list(b)
+    for item in a:
+        try:
+            remaining.remove(item)
+        except ValueError:
+            return False
+    return True
+
+
+class ALRunner(Runner):
+    """Authenticated-links model: delivery is always faithful; the
+    adversary's only powers are reading traffic, breaking into nodes and
+    speaking for broken ones."""
+
+    model = "AL"
+
+    def _resolve_delivery(
+        self, api: AdversaryApi, info: RoundInfo, traffic: tuple[Envelope, ...]
+    ) -> dict[int, list[Envelope]]:
+        return faithful_delivery(traffic, self.n)
+
+    def _operational_set(
+        self,
+        info: RoundInfo,
+        broken: frozenset[int],
+        unreliable: frozenset[frozenset[int]],
+    ) -> frozenset[int]:
+        return frozenset(range(self.n)) - broken
+
+
+class ULRunner(Runner):
+    """Unauthenticated-links model: the adversary owns delivery; node
+    status is s-operationality tracked per Definitions 4–6.
+
+    Args:
+        s: the disconnection threshold used for operational-node
+            accounting (the paper's ``s``; experiments use ``s = t``).
+    """
+
+    model = "UL"
+
+    def __init__(
+        self,
+        programs: list[NodeProgram],
+        adversary: Adversary,
+        schedule: Schedule,
+        s: int,
+        seed: int | str = 0,
+        input_provider: InputProvider | None = None,
+    ) -> None:
+        super().__init__(programs, adversary, schedule, seed, input_provider)
+        self.s = s
+        self.tracker = ConnectivityTracker(self.n, s)
+
+    def _resolve_delivery(
+        self, api: AdversaryApi, info: RoundInfo, traffic: tuple[Envelope, ...]
+    ) -> dict[int, list[Envelope]]:
+        return self.adversary.deliver(api, info, traffic)
+
+    def _operational_set(
+        self,
+        info: RoundInfo,
+        broken: frozenset[int],
+        unreliable: frozenset[frozenset[int]],
+    ) -> frozenset[int]:
+        return self.tracker.observe_round(info, broken, unreliable)

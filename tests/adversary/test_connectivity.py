@@ -1,0 +1,170 @@
+"""Tests for s-operational tracking (Definitions 4-6)."""
+
+import pytest
+
+from repro.adversary.connectivity import ConnectivityTracker
+from repro.sim.clock import Schedule
+
+SCHED = Schedule(setup_rounds=1, refresh_rounds=2, normal_rounds=3)
+
+
+def feed(tracker, rounds):
+    """rounds: list of (round_number, broken, unreliable_links)."""
+    result = []
+    for round_number, broken, unreliable in rounds:
+        info = SCHED.info(round_number)
+        result.append(
+            tracker.observe_round(info, frozenset(broken), frozenset(map(frozenset, unreliable)))
+        )
+    return result
+
+
+def all_links_to(i, n):
+    return [(i, j) for j in range(n) if j != i]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ConnectivityTracker(5, 0)
+    with pytest.raises(ValueError):
+        ConnectivityTracker(5, 6)
+
+
+def test_everyone_operational_without_adversary():
+    tracker = ConnectivityTracker(5, 2)
+    sets = feed(tracker, [(r, [], []) for r in range(SCHED.total_rounds(2))])
+    for op in sets:
+        assert op == frozenset(range(5))
+
+
+def test_broken_node_not_operational():
+    tracker = ConnectivityTracker(5, 2)
+    sets = feed(tracker, [(0, [], []), (1, [3], []), (2, [3], [])])
+    assert 3 in sets[0]  # setup
+    assert 3 not in sets[1]
+    assert 3 not in sets[2]
+
+
+def test_disconnected_accessor():
+    tracker = ConnectivityTracker(5, 2)
+    dead = all_links_to(0, 5)
+    feed(tracker, [(0, [], []), (1, [], dead), (2, [], dead)])
+    assert tracker.disconnected(frozenset()) == frozenset({0})
+    # if 0 were broken instead, it would not count as disconnected
+    assert tracker.disconnected(frozenset({0})) == frozenset()
+
+
+def test_first_round_operational_by_definition():
+    """Def. 5.1: at the first communication round of the first time unit
+    the operational nodes are exactly the non-broken ones — link faults
+    only start mattering from the second round."""
+    tracker = ConnectivityTracker(5, 2)
+    dead = all_links_to(0, 5)
+    sets = feed(tracker, [(0, [], []), (1, [3], dead)])
+    assert sets[1] == frozenset({0, 1, 2, 4})
+
+
+def test_cutoff_node_loses_operational_status():
+    tracker = ConnectivityTracker(5, 2)
+    dead = all_links_to(0, 5)
+    sets = feed(tracker, [(0, [], []), (1, [], dead), (2, [], dead)])
+    assert 0 not in sets[2]
+    assert sets[2] == frozenset({1, 2, 3, 4})
+
+
+def test_cutting_two_nodes_at_s2_disconnects_everyone():
+    """With s = 2, fully cutting off two nodes gives every remaining node
+    two unreliable links, so by Def. 6 *all* nodes become 2-disconnected —
+    such an adversary is nowhere near (2,2)-limited."""
+    n, s = 5, 2
+    tracker = ConnectivityTracker(n, s)
+    dead = all_links_to(0, n) + all_links_to(1, n)
+    rounds = [(0, [], [])] + [(r, [], dead) for r in range(1, 4)]
+    sets = feed(tracker, rounds)
+    assert sets[2] == frozenset()
+
+
+def test_survivors_do_not_cascade_after_one_node_disconnects():
+    """The disjunctive survival rule: once node 0 has dropped out of the
+    operational set, its dead links stop counting against the survivors,
+    and a further dead link inside the survivor clique is tolerated
+    (1 unreliable link < s) even though the "reliable >= n - s" count
+    alone would no longer be met."""
+    n, s = 5, 2
+    tracker = ConnectivityTracker(n, s)
+    dead0 = all_links_to(0, n)
+    rounds = [(0, [], []), (1, [], dead0), (2, [], dead0)]
+    # from round 3 on additionally kill the 1-2 link
+    rounds += [(r, [], dead0 + [(1, 2)]) for r in range(3, 6)]
+    sets = feed(tracker, rounds)
+    assert sets[2] == frozenset({1, 2, 3, 4})
+    for op in sets[3:]:
+        assert op == frozenset({1, 2, 3, 4})
+
+
+def test_recovery_at_end_of_refresh_phase():
+    """A node broken in unit 0 regains operational status at the end of the
+    unit-1 refreshment phase, provided it is unbroken with good links
+    throughout the phase (Def. 5.3)."""
+    tracker = ConnectivityTracker(5, 2)
+    # unit 0 normal rounds 1..3: node 4 broken
+    rounds = [(0, [], [])] + [(r, [4], []) for r in (1, 2, 3)]
+    # unit 1 refresh rounds 4,5: node 4 recovered, all links fine
+    rounds += [(4, [], []), (5, [], [])]
+    sets = feed(tracker, rounds)
+    assert 4 not in sets[3]
+    assert 4 not in sets[4]  # still out at the start of the refresh phase
+    assert 4 in sets[5]  # promoted at the phase's last round
+
+
+def test_no_recovery_if_broken_during_refresh():
+    tracker = ConnectivityTracker(5, 2)
+    rounds = [(0, [], [])] + [(r, [4], []) for r in (1, 2, 3)]
+    rounds += [(4, [4], []), (5, [], [])]  # still broken in first refresh round
+    sets = feed(tracker, rounds)
+    assert 4 not in sets[5]
+
+
+def test_no_recovery_without_reliable_links_in_refresh():
+    tracker = ConnectivityTracker(5, 2)
+    rounds = [(0, [], [])] + [(r, [4], []) for r in (1, 2, 3)]
+    dead = all_links_to(4, 5)
+    rounds += [(4, [], dead), (5, [], dead)]
+    sets = feed(tracker, rounds)
+    assert 4 not in sets[5]
+
+
+def test_recovery_requires_helpers_operational_throughout():
+    """Nodes that were themselves non-operational during the phase cannot
+    serve as recovery helpers (the paper's inductive subtlety, §2.2)."""
+    n, s = 5, 2
+    tracker = ConnectivityTracker(n, s)
+    # nodes 3 and 4 broken during unit 0
+    rounds = [(0, [], [])] + [(r, [3, 4], []) for r in (1, 2, 3)]
+    # refresh of unit 1: 3 and 4 unbroken, perfect links between {3,4} but
+    # all their links to {0,1,2} dead -> their only intact peers were also
+    # non-operational, so neither recovers
+    dead = [(3, j) for j in (0, 1, 2)] + [(4, j) for j in (0, 1, 2)]
+    rounds += [(4, [], dead), (5, [], dead)]
+    sets = feed(tracker, rounds)
+    assert 3 not in sets[5]
+    assert 4 not in sets[5]
+
+
+def test_recovery_threshold_counts_n_minus_s_helpers():
+    n, s = 5, 2
+    tracker = ConnectivityTracker(n, s)
+    rounds = [(0, [], [])] + [(r, [4], []) for r in (1, 2, 3)]
+    # node 4's link to node 0 stays dead during the refresh: 3 helpers = n - s
+    dead = [(4, 0)]
+    rounds += [(4, [], dead), (5, [], dead)]
+    sets = feed(tracker, rounds)
+    assert 4 in sets[5]
+
+    # with two dead links only 2 < n - s helpers remain -> no recovery
+    tracker2 = ConnectivityTracker(n, s)
+    rounds2 = [(0, [], [])] + [(r, [4], []) for r in (1, 2, 3)]
+    dead2 = [(4, 0), (4, 1)]
+    rounds2 += [(4, [], dead2), (5, [], dead2)]
+    sets2 = feed(tracker2, rounds2)
+    assert 4 not in sets2[5]

@@ -1,0 +1,178 @@
+"""Tests for limit audits (Defs. 3, 7) and the attack strategies."""
+
+import random
+
+from repro.adversary.limits import audit_st_limited, audit_t_limited
+from repro.adversary.strategies import (
+    BreakinPlan,
+    ComposedAdversary,
+    InjectionFloodAdversary,
+    LinkAttackAdversary,
+    LinkFault,
+    MobileBreakInAdversary,
+    ReplayAdversary,
+)
+from repro.sim.adversary_api import PassiveAdversary
+from repro.sim.clock import Schedule
+from repro.sim.runner import ALRunner, ULRunner
+
+from tests.helpers import EchoProgram
+
+SCHED = Schedule(setup_rounds=1, refresh_rounds=2, normal_rounds=3)
+N = 5
+
+
+def run_ul(adversary, units=3, s=2, seed=11):
+    runner = ULRunner([EchoProgram() for _ in range(N)], adversary, SCHED, s=s, seed=seed)
+    return runner.run(units=units), runner
+
+
+def run_al(adversary, units=3, seed=11):
+    runner = ALRunner([EchoProgram() for _ in range(N)], adversary, SCHED, seed=seed)
+    return runner.run(units=units), runner
+
+
+def test_passive_is_zero_limited():
+    execution, _ = run_ul(PassiveAdversary())
+    report = audit_st_limited(execution, 0)
+    assert report.within_limits
+    assert report.worst_unit_size == 0
+
+
+def test_mobile_breakin_plan_respected_and_audited():
+    plan = BreakinPlan(victims={1: frozenset({0, 1}), 2: frozenset({2, 3})})
+    adversary = MobileBreakInAdversary(plan)
+    execution, _ = run_al(adversary)
+    assert execution.broken_in_unit(1) == frozenset({0, 1})
+    assert execution.broken_in_unit(2) == frozenset({2, 3})
+    assert audit_t_limited(execution, 2).within_limits
+    report = audit_t_limited(execution, 1)
+    assert not report.within_limits
+    assert set(report.violations) == {1, 2}
+
+
+def test_mobile_breakin_avoids_refresh_by_default():
+    plan = BreakinPlan(victims={1: frozenset({0})})
+    adversary = MobileBreakInAdversary(plan)
+    execution, _ = run_al(adversary)
+    refresh_rounds = [
+        rec for rec in execution.rounds_in_unit(1) if rec.info.phase.value == "refresh"
+    ]
+    for rec in refresh_rounds:
+        assert 0 not in rec.broken
+    normal_rounds = [
+        rec for rec in execution.rounds_in_unit(1) if rec.info.phase.value == "normal"
+    ]
+    # broken throughout the normal phase except its last round (the victim
+    # is released one round early so it can take part in the next refresh)
+    assert all(0 in rec.broken for rec in normal_rounds[:-1])
+    assert 0 not in normal_rounds[-1].broken
+
+
+def test_mobile_breakin_during_refresh_option():
+    plan = BreakinPlan(victims={1: frozenset({0})}, during_refresh=True)
+    adversary = MobileBreakInAdversary(plan)
+    execution, _ = run_al(adversary)
+    for rec in execution.rounds_in_unit(1):
+        assert 0 in rec.broken
+
+
+def test_mobile_breakin_steals_state():
+    plan = BreakinPlan(victims={1: frozenset({2})})
+    adversary = MobileBreakInAdversary(
+        plan, state_snapshot=lambda program: program.secret
+    )
+    run_al(adversary)
+    assert adversary.stolen[(1, 2)] == "initial-secret"
+
+
+def test_mobile_breakin_corrupts_state():
+    plan = BreakinPlan(victims={1: frozenset({2})}, corrupt_memory=True)
+
+    def corruptor(program, rng):
+        program.secret = "overwritten"
+
+    adversary = MobileBreakInAdversary(plan, corruptor=corruptor)
+    _, runner = run_al(adversary)
+    assert runner.nodes[2].program.secret == "overwritten"
+
+
+def test_rotating_plan_generation():
+    rng = random.Random(3)
+    plan = BreakinPlan.rotating(n=7, t=3, units=5, rng=rng)
+    assert set(plan.victims) == {1, 2, 3, 4}
+    assert plan.max_victims_per_unit() == 3
+    for victims in plan.victims.values():
+        assert len(victims) == 3
+
+
+def test_link_attack_drop_schedule():
+    fault = LinkFault(link=frozenset({0, 1}), first_round=1, last_round=3)
+    execution, runner = run_ul(LinkAttackAdversary([fault]))
+    program = runner.nodes[0].program
+    # nothing from node 1 delivered for sends of rounds 1..3
+    gaps = [rnd for rnd, sender, _ in program.received if sender == 1]
+    assert set(gaps).isdisjoint({2, 3, 4})
+    assert 1 in {r for r, s, _ in program.received if s == 1} or 5 in gaps or 6 in gaps
+
+
+def test_link_attack_transform():
+    def tamper(envelope):
+        return envelope.with_payload(("tampered",))
+
+    fault = LinkFault(link=frozenset({0, 1}), first_round=1, last_round=99, transform=tamper)
+    _, runner = run_ul(LinkAttackAdversary([fault]))
+    # round-0 (set-up) traffic is delivered before the adversary activates;
+    # everything sent from round 1 on is tampered
+    received = [p for r, s, p in runner.nodes[0].program.received if s == 1 and r >= 2]
+    assert all(p == ("tampered",) for p in received)
+    assert received  # something did arrive
+
+
+def test_injection_flood_counts_and_limits():
+    adversary = InjectionFloodAdversary(
+        payload_factory=lambda claimed, receiver, rng: ("bogus", claimed),
+        channel="echo",
+        flood_factor=2,
+    )
+    execution, _ = run_ul(adversary, units=3)
+    # floods at the first refresh round of units 1 and 2
+    assert adversary.injected_count == 2 * 2 * N * (N - 1)
+    # injection makes every link unreliable in those rounds, so everyone is
+    # disconnected there: the adversary is NOT (t,t)-limited for small t...
+    assert not audit_st_limited(execution, 2).within_limits
+    # ...but it broke zero nodes
+    assert audit_t_limited(execution, 0).within_limits
+
+
+def test_replay_adversary_redelivers():
+    adversary = ReplayAdversary(delay=2)
+    _, runner = run_ul(adversary, units=2)
+    assert adversary.replayed_count > 0
+    program = runner.nodes[0].program
+    payloads = [(r, p) for r, s, p in program.received if s == 1]
+    # each (sender, counter) payload appears twice: original + replay
+    from collections import Counter
+
+    counts = Counter(p for _, p in payloads)
+    assert any(c >= 2 for c in counts.values())
+
+
+def test_composed_adversary_runs_all():
+    plan = BreakinPlan(victims={1: frozenset({4})})
+    breaker = MobileBreakInAdversary(plan)
+    fault = LinkFault(link=frozenset({0, 1}), first_round=1, last_round=99)
+    dropper = LinkAttackAdversary([fault])
+    execution, runner = run_ul(ComposedAdversary([breaker, dropper]))
+    assert 4 in execution.broken_in_unit(1)
+    received_from_1 = [
+        p for r, s, p in runner.nodes[0].program.received if s == 1 and r >= 2
+    ]
+    assert not received_from_1
+
+
+def test_composed_adversary_needs_strategies():
+    import pytest
+
+    with pytest.raises(ValueError):
+        ComposedAdversary([])

@@ -1,0 +1,57 @@
+"""Tests for the §5.1 global-awareness signal."""
+
+from repro.adversary.impersonation import UlsImpersonator
+from repro.adversary.strategies import CutOffAdversary, InjectionFloodAdversary
+from repro.analysis.awareness import global_awareness
+from repro.core.uls import NEWKEY_CHANNEL, UlsProgram, build_uls_states, uls_schedule
+from repro.crypto.group import named_group
+from repro.crypto.schnorr import SchnorrScheme
+from repro.sim.adversary_api import PassiveAdversary
+from repro.sim.runner import ULRunner
+
+GROUP = named_group("toy64")
+SCHEME = SchnorrScheme(GROUP)
+N, T = 5, 2
+SCHED = uls_schedule()
+
+
+def run(adversary, units=2, seed=8):
+    public, states, keys = build_uls_states(GROUP, SCHEME, N, T, seed=seed)
+    programs = [UlsProgram(states[i], SCHEME, keys[i]) for i in range(N)]
+    runner = ULRunner(programs, adversary, SCHED, s=T, seed=seed)
+    return runner.run(units=units)
+
+
+def test_benign_run_clean_report():
+    execution = run(PassiveAdversary())
+    report = global_awareness(execution, T)
+    assert not report.adversary_exceeded_model
+    assert report.alerting_nodes == {}
+
+
+def test_in_model_attack_does_not_trip_global_signal():
+    """A (t,t)-limited cut-off attack alerts only the victim: local
+    awareness fires, the global signal does not."""
+    adversary = CutOffAdversary(victim=3, break_unit=1,
+                                impersonator=UlsImpersonator(victim=3))
+    execution = run(adversary, units=3)
+    report = global_awareness(execution, T)
+    assert not report.adversary_exceeded_model
+    assert any(3 in nodes for nodes in report.alerting_nodes.values())
+
+
+def test_injection_flood_trips_global_signal():
+    """The §5.1 almost-(t,t)-limited injector denies everyone their
+    certificates: > t simultaneous alerts expose it."""
+    adversary = InjectionFloodAdversary(
+        payload_factory=lambda c, r, rng: (
+            "newkey", 1, SCHEME.key_repr(SCHEME.generate(rng).verify_key)
+        ),
+        channel=NEWKEY_CHANNEL,
+        flood_factor=1,
+    )
+    execution = run(adversary, units=2)
+    report = global_awareness(execution, T)
+    assert report.adversary_exceeded_model
+    assert 1 in report.model_exceeded_units
+    assert len(report.alerting_nodes[1]) == N

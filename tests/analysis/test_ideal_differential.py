@@ -1,0 +1,102 @@
+"""Differential testing against the ideal process (Definition 12 made
+executable).
+
+The emulation definition compares the real scheme's global output with
+the ideal process's.  We drive the ideal process with the *same* request
+schedule as a real ULS run and compare the finite projections that the
+definition's distinguishers would look at first: the set of signed
+messages, the per-signer asked/signed output lines, and the verifier's
+behaviour on signed and unsigned messages.
+"""
+
+import pytest
+
+from repro.core.uls import UlsProgram, build_uls_states, uls_schedule, verify_user_signature
+from repro.crypto.group import named_group
+from repro.crypto.schnorr import SchnorrScheme
+from repro.pds.ideal import IdealSignatureProcess
+from repro.sim.adversary_api import PassiveAdversary
+from repro.sim.runner import ULRunner
+
+GROUP = named_group("toy64")
+SCHEME = SchnorrScheme(GROUP)
+N, T = 5, 2
+SCHED = uls_schedule()
+
+# (message, unit, requesters) — mixtures above and below the threshold
+REQUEST_SCHEDULE = [
+    ("alpha", 0, [0, 1, 2, 3, 4]),
+    ("beta", 0, [0, 1, 2]),          # exactly t+1
+    ("gamma", 0, [0, 1]),            # only t: must NOT sign
+    ("delta", 1, [2, 3, 4]),
+    ("echo", 1, [4]),                # single request: must NOT sign
+]
+
+
+@pytest.fixture(scope="module")
+def real_and_ideal():
+    public, states, keys = build_uls_states(GROUP, SCHEME, N, T, seed=17)
+    programs = [UlsProgram(states[i], SCHEME, keys[i]) for i in range(N)]
+    runner = ULRunner(programs, PassiveAdversary(), SCHED, s=T, seed=17)
+    for message, unit, requesters in REQUEST_SCHEDULE:
+        round_number = SCHED.first_normal_round(unit)
+        for node in requesters:
+            runner.add_external_input(node, round_number, ("sign", message))
+    execution = runner.run(units=2)
+
+    ideal = IdealSignatureProcess(n=N, t=T)
+    for message, unit, requesters in REQUEST_SCHEDULE:
+        for node in requesters:
+            ideal.sign_request(node, message, unit)
+    return public, programs, execution, ideal
+
+
+def test_signed_sets_coincide(real_and_ideal):
+    public, programs, execution, ideal = real_and_ideal
+    for message, unit, requesters in REQUEST_SCHEDULE:
+        ideal_signed = ideal.is_signed(message, unit)
+        real_signed = any(
+            ("signed", message, unit) in execution.outputs_of(i) for i in range(N)
+        )
+        assert real_signed == ideal_signed, (message, unit)
+
+
+def test_per_signer_outputs_coincide(real_and_ideal):
+    public, programs, execution, ideal = real_and_ideal
+    for node in range(N):
+        ideal_lines = [
+            entry for entry in ideal.signer_outputs[node]
+            if entry[0] in ("asked-to-sign", "signed")
+        ]
+        real_lines = [
+            entry for entry in execution.outputs_of(node)
+            if isinstance(entry, tuple) and entry[0] in ("asked-to-sign", "signed")
+        ]
+        assert sorted(map(repr, real_lines)) == sorted(map(repr, ideal_lines)), node
+
+
+def test_verifier_behaviour_coincides(real_and_ideal):
+    public, programs, execution, ideal = real_and_ideal
+    for message, unit, requesters in REQUEST_SCHEDULE:
+        signature = next(
+            (p.signatures.get((message, unit)) for p in programs
+             if p.signatures.get((message, unit)) is not None),
+            None,
+        )
+        real_verifies = signature is not None and verify_user_signature(
+            public, message, unit, signature
+        )
+        assert real_verifies == ideal.verify(message, unit), (message, unit)
+    # cross-checks that can never verify
+    assert not ideal.verify("never-requested", 0)
+    assert not verify_user_signature(public, "never-requested", 0, None)
+
+
+def test_wrong_unit_not_signed(real_and_ideal):
+    """A message signed for unit 0 is not a unit-1 signature (Remark 5's
+    time granularity)."""
+    public, programs, execution, ideal = real_and_ideal
+    signature = programs[0].signatures[("alpha", 0)]
+    assert verify_user_signature(public, "alpha", 0, signature)
+    assert not verify_user_signature(public, "alpha", 1, signature)
+    assert not ideal.is_signed("alpha", 1)

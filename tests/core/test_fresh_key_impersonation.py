@@ -1,0 +1,88 @@
+"""The inevitable impersonation (§2.3) — detection, not prevention.
+
+A break-in-free adversary cuts a node off and gets its *own* key
+certified in the victim's name (the honest majority cannot tell a silent
+victim from a recovering one announcing a new key).  The paper's
+guarantee in exactly this situation is awareness: forged messages ARE
+accepted by honest nodes, and the victim alerts in every such unit.
+
+This is the sharpest test of what Prop. 31 does and does not promise.
+"""
+
+import pytest
+
+from repro.adversary.impersonation import FreshKeyImpersonationAdversary
+from repro.core.authenticator import compile_protocol
+from repro.core.uls import build_uls_states, uls_schedule
+from repro.core.views import impersonations
+from repro.crypto.group import named_group
+from repro.crypto.schnorr import SchnorrScheme
+from repro.sim.clock import Phase
+from repro.sim.messages import Envelope
+from repro.sim.node import NodeContext, NodeProgram
+from repro.sim.runner import ULRunner
+
+GROUP = named_group("toy64")
+SCHEME = SchnorrScheme(GROUP)
+N, T, UNITS, VICTIM = 5, 2, 3, 4
+SCHED = uls_schedule()
+
+
+class Chatter(NodeProgram):
+    def step(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        if ctx.info.phase is Phase.NORMAL:
+            ctx.broadcast("chat", ("hello", self.node_id, ctx.info.round))
+
+
+@pytest.fixture(scope="module")
+def attack_run():
+    public, states, keys = build_uls_states(GROUP, SCHEME, N, T, seed=23)
+    programs = compile_protocol([Chatter() for _ in range(N)], states, SCHEME, keys)
+    adversary = FreshKeyImpersonationAdversary(victim=VICTIM, scheme=SCHEME, from_unit=1)
+    runner = ULRunner(programs, adversary, SCHED, s=T, seed=23)
+    execution = runner.run(units=UNITS)
+    return programs, execution, adversary
+
+
+def test_rogue_key_gets_certified(attack_run):
+    programs, execution, adversary = attack_run
+    assert adversary.certificates_captured >= 1
+    assert adversary.forgeries_injected > 0
+
+
+def test_impersonation_succeeds(attack_run):
+    """The inevitable part: honest top layers accept the forged traffic."""
+    programs, execution, adversary = attack_run
+    forged_units = [u for u in range(1, UNITS)
+                    if impersonations(execution, VICTIM, u)]
+    assert forged_units, "the certified fresh-key forgeries must be accepted"
+
+
+def test_victim_alerts_in_every_impersonated_unit(attack_run):
+    """The guaranteed part (Prop. 31): per-unit awareness."""
+    programs, execution, adversary = attack_run
+    for unit in range(1, UNITS):
+        if impersonations(execution, VICTIM, unit):
+            assert execution.alerts_in_unit(VICTIM, unit) >= 1, unit
+    # and the victim's keystore reflects the denial
+    history = dict(programs[VICTIM].core.keystore.history)
+    assert all(history[u] == "failed" for u in range(1, UNITS))
+
+
+def test_adversary_is_within_model(attack_run):
+    """Zero break-ins; one disconnected node per unit: (t,t)-limited."""
+    from repro.adversary.limits import audit_st_limited
+
+    programs, execution, adversary = attack_run
+    assert all(not record.broken for record in execution.records)
+    assert audit_st_limited(execution, T).within_limits
+
+
+def test_other_nodes_unaffected(attack_run):
+    programs, execution, adversary = attack_run
+    for node in range(N):
+        if node == VICTIM:
+            continue
+        assert programs[node].core.alert_units == []
+        for unit in range(UNITS):
+            assert impersonations(execution, node, unit) == set()

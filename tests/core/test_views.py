@@ -1,0 +1,95 @@
+"""Unit tests for Definition-10 views and impersonation detection."""
+
+from repro.core.views import ViewItem, external_view, impersonations, internal_sent
+from repro.sim.clock import Schedule
+from repro.sim.transcript import Execution
+
+SCHED = Schedule(setup_rounds=1, refresh_rounds=2, normal_rounds=3)
+
+
+def make_execution(outputs, broken_by_unit=None):
+    """outputs: {node: [(round, entry), ...]}"""
+    execution = Execution(n=3, schedule=SCHED, seed=0, model="UL",
+                          node_outputs=[[] for _ in range(3)])
+    for node, entries in outputs.items():
+        execution.node_outputs[node] = entries
+    # fabricate minimal round records for broken accounting
+    from repro.sim.clock import RoundInfo
+    from repro.sim.transcript import RoundRecord
+
+    broken_by_unit = broken_by_unit or {}
+    for round_number in range(SCHED.total_rounds(3)):
+        info = SCHED.info(round_number)
+        broken = frozenset(broken_by_unit.get(info.time_unit, ()))
+        execution.records.append(RoundRecord(
+            info=info, sent=(), delivered={}, broken=broken,
+            operational=frozenset(range(3)) - broken, unreliable_links=frozenset(),
+        ))
+    return execution
+
+
+R1 = SCHED.first_normal_round(1)
+
+
+def test_internal_sent_collects_app_sent():
+    execution = make_execution({0: [(R1, ("app-sent", 1, "chat", "x"))]})
+    assert internal_sent(execution, 0, 1) == {ViewItem(1, "chat", "x")}
+    assert internal_sent(execution, 0, 0) == set()
+
+
+def test_external_view_collects_peer_receptions():
+    execution = make_execution({1: [(R1, ("app-recv", 0, "chat", "x"))]})
+    assert external_view(execution, 0, 1) == {ViewItem(1, "chat", "x")}
+
+
+def test_matching_send_means_no_impersonation():
+    execution = make_execution({
+        0: [(R1, ("app-sent", 1, "chat", "x"))],
+        1: [(R1 + 2, ("app-recv", 0, "chat", "x"))],
+    })
+    assert impersonations(execution, 0, 1) == set()
+
+
+def test_unmatched_reception_is_impersonation():
+    execution = make_execution({
+        1: [(R1, ("app-recv", 0, "chat", "forged"))],
+    })
+    assert impersonations(execution, 0, 1) == {ViewItem(1, "chat", "forged")}
+
+
+def test_previous_unit_send_matches_boundary_delivery():
+    """A message sent at the end of unit 0 and received at the start of
+    unit 1 is not an impersonation."""
+    r_end_unit0 = SCHED.first_normal_round(0) + 2
+    execution = make_execution({
+        0: [(r_end_unit0, ("app-sent", 1, "chat", "late"))],
+        1: [(SCHED.refresh_start(1), ("app-recv", 0, "chat", "late"))],
+    })
+    assert impersonations(execution, 0, 1) == set()
+
+
+def test_broken_node_is_not_impersonated():
+    """Definition 10 applies to non-broken nodes only."""
+    execution = make_execution(
+        {1: [(R1, ("app-recv", 0, "chat", "forged"))]},
+        broken_by_unit={1: {0}},
+    )
+    assert impersonations(execution, 0, 1) == set()
+
+
+def test_broken_observers_do_not_count():
+    """Receptions recorded by broken nodes are excluded from the external
+    view (their outputs are adversary-controlled)."""
+    execution = make_execution(
+        {1: [(R1, ("app-recv", 0, "chat", "forged"))]},
+        broken_by_unit={1: {1}},
+    )
+    assert external_view(execution, 0, 1) == set()
+
+
+def test_unhashable_payloads_normalized():
+    execution = make_execution({
+        0: [(R1, ("app-sent", 1, "chat", ["list", "payload"]))],
+        1: [(R1 + 2, ("app-recv", 0, "chat", ["list", "payload"]))],
+    })
+    assert impersonations(execution, 0, 1) == set()

@@ -1,0 +1,110 @@
+"""Tests for repro.crypto.field."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.field import Polynomial, PrimeField
+
+FIELD = PrimeField(104729)
+field_elements = st.integers(min_value=0, max_value=FIELD.order - 1)
+
+
+def test_rejects_composite_order():
+    with pytest.raises(ValueError):
+        PrimeField(100)
+
+
+@given(field_elements, field_elements, field_elements)
+@settings(max_examples=200)
+def test_field_axioms(a, b, c):
+    f = FIELD
+    assert f.add(a, b) == f.add(b, a)
+    assert f.mul(a, b) == f.mul(b, a)
+    assert f.add(f.add(a, b), c) == f.add(a, f.add(b, c))
+    assert f.mul(f.mul(a, b), c) == f.mul(a, f.mul(b, c))
+    assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+    assert f.add(a, f.neg(a)) == 0
+    assert f.sub(a, b) == f.add(a, f.neg(b))
+
+
+@given(st.integers(min_value=1, max_value=FIELD.order - 1))
+@settings(max_examples=100)
+def test_inverse(a):
+    assert FIELD.mul(a, FIELD.inv(a)) == 1
+
+
+def test_inverse_of_zero_fails():
+    with pytest.raises(ZeroDivisionError):
+        FIELD.inv(0)
+
+
+def test_random_element_in_range():
+    rng = random.Random(0)
+    for _ in range(100):
+        assert 0 <= FIELD.random_element(rng) < FIELD.order
+        assert 0 < FIELD.random_nonzero(rng) < FIELD.order
+
+
+def test_random_polynomial_respects_constant():
+    rng = random.Random(1)
+    poly = FIELD.random_polynomial(3, rng, constant=42)
+    assert poly.constant_term == 42
+    assert poly.evaluate(0) == 42
+    assert poly.degree_bound == 3
+
+
+def test_random_polynomial_rejects_negative_degree():
+    with pytest.raises(ValueError):
+        FIELD.random_polynomial(-1, random.Random(0))
+
+
+def test_polynomial_requires_coefficients():
+    with pytest.raises(ValueError):
+        Polynomial(FIELD, [])
+
+
+def test_polynomial_evaluation_horner():
+    # f(x) = 3 + 2x + x^2
+    poly = Polynomial(FIELD, [3, 2, 1])
+    assert poly.evaluate(0) == 3
+    assert poly.evaluate(1) == 6
+    assert poly.evaluate(10) == 123
+
+
+def test_polynomial_addition():
+    a = Polynomial(FIELD, [1, 2])
+    b = Polynomial(FIELD, [3, 4, 5])
+    total = a.add(b)
+    assert total.coefficients == [4, 6, 5]
+
+
+def test_polynomial_addition_rejects_mismatched_fields():
+    other = PrimeField(101)
+    with pytest.raises(ValueError):
+        Polynomial(FIELD, [1]).add(Polynomial(other, [1]))
+
+
+@given(st.lists(field_elements, min_size=1, max_size=6, unique=True))
+@settings(max_examples=100)
+def test_lagrange_recovers_constant(xs):
+    xs = [x for x in xs if x != 0]
+    if not xs:
+        return
+    rng = random.Random(7)
+    poly = FIELD.random_polynomial(len(xs) - 1, rng, constant=12345)
+    points = [(x, poly.evaluate(x)) for x in xs]
+    assert FIELD.interpolate_at_zero(points) == 12345
+
+
+def test_lagrange_rejects_duplicate_points():
+    with pytest.raises(ValueError):
+        FIELD.lagrange_coefficients_at_zero([1, 1])
+
+
+def test_lagrange_coefficients_sum_to_one():
+    # Interpolating the constant polynomial 1 must give 1.
+    lam = FIELD.lagrange_coefficients_at_zero([1, 2, 3, 4])
+    assert sum(lam) % FIELD.order == 1

@@ -1,0 +1,94 @@
+"""Tests for repro.crypto.group."""
+
+import random
+
+import pytest
+
+from repro.crypto.group import NAMED_GROUP_NAMES, GroupParams, SchnorrGroup, named_group
+
+
+@pytest.fixture(scope="module")
+def group():
+    return named_group("toy64")
+
+
+def test_all_named_groups_validate():
+    for name in NAMED_GROUP_NAMES:
+        g = named_group(name)
+        assert g.p == 2 * g.q + 1
+        assert g.is_member(g.g)
+
+
+def test_named_group_unknown_name():
+    with pytest.raises(KeyError):
+        named_group("nope")
+
+
+def test_named_group_cached():
+    assert named_group("toy64") is named_group("toy64")
+
+
+def test_rejects_bad_params():
+    good = named_group("toy64").params
+    with pytest.raises(ValueError):
+        SchnorrGroup(GroupParams(p=good.p + 2, q=good.q, g=good.g))
+    with pytest.raises(ValueError):
+        SchnorrGroup(GroupParams(p=good.p, q=good.q, g=good.p - 1))  # order-2 element
+
+
+def test_generate_small_group():
+    g = SchnorrGroup.generate(24, random.Random(3))
+    assert g.p == 2 * g.q + 1
+    assert g.is_member(g.g)
+
+
+def test_generator_has_order_q(group):
+    assert group.power(group.g, group.q) == 1
+    assert group.base_power(0) == 1
+    assert group.base_power(group.q) == 1
+
+
+def test_exponent_reduction(group):
+    x = 123456789
+    assert group.base_power(x) == group.base_power(x + group.q)
+
+
+def test_membership(group):
+    assert group.is_member(group.base_power(42))
+    assert not group.is_member(0)
+    assert not group.is_member(group.p)
+    # p-1 has order 2, not q
+    assert not group.is_member(group.p - 1)
+
+
+def test_multiply_invert_divide(group):
+    a = group.base_power(10)
+    b = group.base_power(33)
+    assert group.multiply(a, group.invert(a)) == 1
+    assert group.divide(group.multiply(a, b), b) == a
+
+
+def test_multi_power(group):
+    a = group.base_power(5)
+    b = group.base_power(7)
+    assert group.multi_power([(a, 2), (b, 3)]) == group.multiply(
+        group.power(a, 2), group.power(b, 3)
+    )
+
+
+def test_random_scalar_range(group):
+    rng = random.Random(0)
+    for _ in range(50):
+        s = group.random_scalar(rng)
+        assert 1 <= s < group.q
+
+
+def test_homomorphism(group):
+    x, y = 111, 222
+    assert group.multiply(group.base_power(x), group.base_power(y)) == group.base_power(x + y)
+
+
+def test_equality_and_repr(group):
+    assert group == named_group("toy64")
+    assert group != named_group("toy160")
+    assert "SchnorrGroup" in repr(group)

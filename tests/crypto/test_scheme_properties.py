@@ -1,0 +1,62 @@
+"""Property-based tests over the signature schemes (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.feldman import FeldmanDealer
+from repro.crypto.group import named_group
+from repro.crypto.schnorr import SchnorrScheme, SchnorrSignature
+from repro.crypto.shamir import reconstruct_secret
+
+GROUP = named_group("toy64")
+SCHEME = SchnorrScheme(GROUP)
+PAIR = SCHEME.generate(random.Random(0))
+OTHER = SCHEME.generate(random.Random(1))
+
+
+@given(st.binary(max_size=256))
+@settings(max_examples=100)
+def test_schnorr_round_trip_any_message(message):
+    signature = SCHEME.sign(PAIR.signing_key, message)
+    assert SCHEME.verify(PAIR.verify_key, message, signature)
+    assert not SCHEME.verify(OTHER.verify_key, message, signature)
+
+
+@given(st.binary(max_size=64), st.binary(max_size=64))
+@settings(max_examples=100)
+def test_schnorr_signature_binds_message(m1, m2):
+    signature = SCHEME.sign(PAIR.signing_key, m1)
+    if m1 != m2:
+        assert not SCHEME.verify(PAIR.verify_key, m2, signature)
+
+
+@given(st.binary(max_size=64), st.integers(min_value=1, max_value=GROUP.q - 1))
+@settings(max_examples=100)
+def test_schnorr_mangled_response_rejected(message, delta):
+    signature = SCHEME.sign(PAIR.signing_key, message)
+    mangled = SchnorrSignature(
+        commitment=signature.commitment,
+        response=(signature.response + delta) % GROUP.q,
+    )
+    assert not SCHEME.verify(PAIR.verify_key, message, mangled)
+
+
+@given(
+    st.integers(min_value=0, max_value=GROUP.q - 1),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0),
+)
+@settings(max_examples=60)
+def test_feldman_dealing_invariants(secret, t, seed):
+    n = 2 * t + 1
+    dealer = FeldmanDealer(GROUP, n=n, threshold=t)
+    dealing = dealer.deal(secret, random.Random(seed))
+    # every share verifies; any t+1 reconstruct; commitment anchors the key
+    for share in dealing.shares:
+        assert dealing.commitment.verify_share(GROUP, share)
+    rng = random.Random(seed + 1)
+    subset = rng.sample(dealing.shares, t + 1)
+    assert reconstruct_secret(GROUP.scalar_field, subset) == secret
+    assert dealing.commitment.public_constant == GROUP.base_power(secret)

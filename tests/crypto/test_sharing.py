@@ -1,0 +1,132 @@
+"""Tests for Shamir sharing and Feldman VSS."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.feldman import FeldmanDealer
+from repro.crypto.field import PrimeField
+from repro.crypto.group import named_group
+from repro.crypto.shamir import Share, ShamirDealer, add_share_values, reconstruct_secret
+
+GROUP = named_group("toy64")
+FIELD = GROUP.scalar_field
+
+
+def make_dealer(n=5, t=2):
+    return ShamirDealer(FIELD, n, t)
+
+
+def test_dealer_validation():
+    with pytest.raises(ValueError):
+        ShamirDealer(FIELD, 0, 0)
+    with pytest.raises(ValueError):
+        ShamirDealer(FIELD, 5, 5)
+    with pytest.raises(ValueError):
+        ShamirDealer(FIELD, 5, -1)
+    with pytest.raises(ValueError):
+        ShamirDealer(PrimeField(3), 5, 2)
+
+
+@given(st.integers(min_value=0, max_value=FIELD.order - 1), st.integers(min_value=0))
+@settings(max_examples=60)
+def test_any_t_plus_1_shares_reconstruct(secret, seed):
+    dealer = make_dealer()
+    rng = random.Random(seed)
+    _, shares = dealer.share(secret, rng)
+    subset = rng.sample(shares, dealer.threshold + 1)
+    assert reconstruct_secret(FIELD, subset) == secret
+
+
+def test_t_shares_do_not_determine_secret():
+    """With only t shares every candidate secret is equally consistent."""
+    dealer = make_dealer(n=5, t=2)
+    rng = random.Random(99)
+    secret = 42
+    _, shares = dealer.share(secret, rng)
+    partial = shares[:2]  # only t shares
+    # For any candidate secret s', there exists a degree-t polynomial through
+    # (0, s') and the two observed shares; interpolation through these three
+    # points is always well-defined, so the shares pin down nothing.
+    for candidate in (0, 1, 42, 1000, FIELD.order - 1):
+        points = [(0, candidate)] + [(s.x, s.value) for s in partial]
+        assert FIELD.interpolate_at_zero(points) == candidate
+
+
+def test_reconstruct_rejects_empty():
+    with pytest.raises(ValueError):
+        reconstruct_secret(FIELD, [])
+
+
+def test_share_zero_reconstructs_zero():
+    dealer = make_dealer()
+    _, shares = dealer.share_zero(random.Random(5))
+    assert reconstruct_secret(FIELD, shares[:3]) == 0
+
+
+def test_add_share_values_refreshes_secret_invariant():
+    """share(a) + share(0) is a fresh sharing of a — the refresh identity."""
+    dealer = make_dealer()
+    rng = random.Random(7)
+    _, shares_a = dealer.share(1234, rng)
+    _, shares_z = dealer.share_zero(rng)
+    combined = [add_share_values(FIELD, a, z) for a, z in zip(shares_a, shares_z)]
+    assert reconstruct_secret(FIELD, combined[:3]) == 1234
+    # and the share values actually changed (overwhelming probability)
+    assert any(a.value != c.value for a, c in zip(shares_a, combined))
+
+
+def test_add_share_values_rejects_mismatched_x():
+    with pytest.raises(ValueError):
+        add_share_values(FIELD, Share(x=1, value=2), Share(x=2, value=3))
+    with pytest.raises(ValueError):
+        add_share_values(FIELD)
+
+
+def test_feldman_shares_verify():
+    dealer = FeldmanDealer(GROUP, n=5, threshold=2)
+    dealing = dealer.deal(777, random.Random(1))
+    for share in dealing.shares:
+        assert dealing.commitment.verify_share(GROUP, share)
+
+
+def test_feldman_detects_corrupted_share():
+    dealer = FeldmanDealer(GROUP, n=5, threshold=2)
+    dealing = dealer.deal(777, random.Random(2))
+    bad = Share(x=dealing.shares[0].x, value=(dealing.shares[0].value + 1) % FIELD.order)
+    assert not dealing.commitment.verify_share(GROUP, bad)
+
+
+def test_feldman_public_constant_is_secret_image():
+    dealer = FeldmanDealer(GROUP, n=5, threshold=2)
+    dealing = dealer.deal(321, random.Random(3))
+    assert dealing.commitment.public_constant == GROUP.base_power(321)
+
+
+def test_feldman_zero_dealing_detectable():
+    dealer = FeldmanDealer(GROUP, n=5, threshold=2)
+    zero = dealer.deal_zero(random.Random(4))
+    nonzero = dealer.deal(9, random.Random(4))
+    assert dealer.verify_zero_dealing(zero.commitment)
+    assert not dealer.verify_zero_dealing(nonzero.commitment)
+
+
+def test_feldman_commitment_combine_matches_share_sum():
+    dealer = FeldmanDealer(GROUP, n=5, threshold=2)
+    rng = random.Random(6)
+    d1 = dealer.deal(100, rng)
+    d2 = dealer.deal(200, rng)
+    combined_commitment = d1.commitment.combine(GROUP, d2.commitment)
+    for s1, s2 in zip(d1.shares, d2.shares):
+        summed = add_share_values(FIELD, s1, s2)
+        assert combined_commitment.verify_share(GROUP, summed)
+    assert combined_commitment.public_constant == GROUP.base_power(300)
+
+
+def test_feldman_share_image_matches_base_power():
+    dealer = FeldmanDealer(GROUP, n=4, threshold=1)
+    dealing = dealer.deal(55, random.Random(8))
+    for share in dealing.shares:
+        assert dealing.commitment.share_image(GROUP, share.x) == GROUP.base_power(share.value)

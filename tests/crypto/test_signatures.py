@@ -1,0 +1,136 @@
+"""Cross-scheme tests of the centralized signature interface.
+
+Every scheme must satisfy the same contract (the paper's CS = (CGen,
+CSign, CVer)); the parametrized tests below run the whole battery on each.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.group import named_group
+from repro.crypto.hash_sig import MerkleSignatureScheme
+from repro.crypto.lamport import LamportScheme
+from repro.crypto.rsa import RsaFdhScheme
+from repro.crypto.schnorr import SchnorrScheme
+from repro.crypto.signature import SignatureError
+from repro.crypto.toy import BrokenScheme, forge
+
+SCHEMES = [
+    pytest.param(SchnorrScheme(named_group("toy64")), id="schnorr"),
+    pytest.param(RsaFdhScheme(modulus_bits=256), id="rsa-fdh"),
+    pytest.param(MerkleSignatureScheme(capacity=4), id="merkle-lamport"),
+    pytest.param(LamportScheme(), id="lamport-ots"),
+]
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_sign_verify_round_trip(scheme, rng):
+    pair = scheme.generate(rng)
+    signature = scheme.sign(pair.signing_key, b"hello world")
+    assert scheme.verify(pair.verify_key, b"hello world", signature)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_verify_rejects_wrong_message(scheme, rng):
+    pair = scheme.generate(rng)
+    signature = scheme.sign(pair.signing_key, b"hello world")
+    assert not scheme.verify(pair.verify_key, b"hello mars", signature)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_verify_rejects_wrong_key(scheme, rng):
+    pair1 = scheme.generate(rng)
+    pair2 = scheme.generate(rng)
+    signature = scheme.sign(pair1.signing_key, b"msg")
+    assert not scheme.verify(pair2.verify_key, b"msg", signature)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_verify_rejects_garbage_signature(scheme, rng):
+    pair = scheme.generate(rng)
+    assert not scheme.verify(pair.verify_key, b"msg", "not-a-signature")
+    assert not scheme.verify(pair.verify_key, b"msg", None)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_verify_rejects_garbage_key(scheme, rng):
+    pair = scheme.generate(rng)
+    signature = scheme.sign(pair.signing_key, b"msg")
+    assert not scheme.verify("not-a-key", b"msg", signature)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_empty_message(scheme, rng):
+    pair = scheme.generate(rng)
+    signature = scheme.sign(pair.signing_key, b"")
+    assert scheme.verify(pair.verify_key, b"", signature)
+    assert not scheme.verify(pair.verify_key, b"x", signature)
+
+
+def test_schnorr_signature_not_transferable_between_groups(rng):
+    small = SchnorrScheme(named_group("toy64"))
+    big = SchnorrScheme(named_group("toy160"))
+    pair = small.generate(rng)
+    signature = small.sign(pair.signing_key, b"m")
+    assert not big.verify(pair.verify_key, b"m", signature)
+
+
+def test_schnorr_deterministic_nonce(rng):
+    scheme = SchnorrScheme(named_group("toy64"))
+    pair = scheme.generate(rng)
+    s1 = scheme.sign(pair.signing_key, b"m")
+    s2 = scheme.sign(pair.signing_key, b"m")
+    assert s1 == s2  # derandomized signing
+
+
+def test_merkle_key_exhaustion(rng):
+    scheme = MerkleSignatureScheme(capacity=2)
+    pair = scheme.generate(rng)
+    scheme.sign(pair.signing_key, b"one")
+    scheme.sign(pair.signing_key, b"two")
+    with pytest.raises(SignatureError):
+        scheme.sign(pair.signing_key, b"three")
+
+
+def test_merkle_distinct_leaves_per_signature(rng):
+    scheme = MerkleSignatureScheme(capacity=4)
+    pair = scheme.generate(rng)
+    s1 = scheme.sign(pair.signing_key, b"a")
+    s2 = scheme.sign(pair.signing_key, b"b")
+    assert s1.leaf_index != s2.leaf_index
+    assert scheme.verify(pair.verify_key, b"a", s1)
+    assert scheme.verify(pair.verify_key, b"b", s2)
+
+
+def test_merkle_rejects_out_of_range_leaf(rng):
+    scheme = MerkleSignatureScheme(capacity=2)
+    pair = scheme.generate(rng)
+    sig = scheme.sign(pair.signing_key, b"a")
+    forged = type(sig)(
+        leaf_index=5, ots_signature=sig.ots_signature,
+        ots_verify_key=sig.ots_verify_key, path=sig.path,
+    )
+    assert not scheme.verify(pair.verify_key, b"a", forged)
+
+
+def test_merkle_capacity_validation():
+    with pytest.raises(ValueError):
+        MerkleSignatureScheme(capacity=0)
+
+
+def test_rsa_rejects_tiny_modulus():
+    with pytest.raises(ValueError):
+        RsaFdhScheme(modulus_bits=32)
+
+
+def test_broken_scheme_is_forgeable(rng):
+    scheme = BrokenScheme()
+    pair = scheme.generate(rng)
+    forged = forge(pair.verify_key, b"anything")
+    assert scheme.verify(pair.verify_key, b"anything", forged)

@@ -1,0 +1,86 @@
+"""Tests for the ideal signature process (§3.1)."""
+
+import pytest
+
+from repro.pds.ideal import IdealSignatureProcess
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        IdealSignatureProcess(n=3, t=3)
+
+
+def test_threshold_signing():
+    ideal = IdealSignatureProcess(n=5, t=2)
+    assert not ideal.sign_request(0, "m", 1)
+    assert not ideal.sign_request(1, "m", 1)
+    assert ideal.sign_request(2, "m", 1)  # t+1 = 3rd request signs
+    assert ideal.is_signed("m", 1)
+
+
+def test_duplicate_requests_do_not_count_twice():
+    ideal = IdealSignatureProcess(n=5, t=2)
+    for _ in range(5):
+        assert not ideal.sign_request(0, "m", 1)
+    assert ideal.request_count("m", 1) == 1
+
+
+def test_requests_bound_to_unit():
+    ideal = IdealSignatureProcess(n=5, t=1)
+    ideal.sign_request(0, "m", 1)
+    ideal.sign_request(1, "m", 2)  # different unit: separate record
+    assert not ideal.is_signed("m", 1)
+    assert not ideal.is_signed("m", 2)
+    ideal.sign_request(1, "m", 1)
+    assert ideal.is_signed("m", 1)
+
+
+def test_outputs_follow_spec():
+    ideal = IdealSignatureProcess(n=3, t=1)
+    ideal.sign_request(0, "m", 1)
+    ideal.sign_request(1, "m", 1)
+    assert ("asked-to-sign", "m", 1) in ideal.signer_outputs[0]
+    assert ("signed", "m", 1) in ideal.signer_outputs[0]
+    assert ("signed", "m", 1) in ideal.signer_outputs[1]
+    assert ideal.signer_outputs[2] == []
+
+
+def test_verifier_silent_on_failure():
+    """Remark 2: failed verifications leave no trace in the output."""
+    ideal = IdealSignatureProcess(n=3, t=1)
+    assert not ideal.verify("never-signed", 1)
+    assert ideal.verifier_output == []
+    ideal.sign_request(0, "m", 1)
+    ideal.sign_request(1, "m", 1)
+    assert ideal.verify("m", 1)
+    assert ideal.verifier_output == [("verified", "m", 1)]
+
+
+def test_broken_signer_output_suppressed():
+    """Step 4: while broken, a signer's output is adversary-controlled —
+    modelled as suppressed (plus the compromised/recovered markers)."""
+    ideal = IdealSignatureProcess(n=3, t=1)
+    ideal.break_into(0)
+    ideal.sign_request(0, "m", 1)
+    assert ("compromised",) in ideal.signer_outputs[0]
+    assert ("asked-to-sign", "m", 1) not in ideal.signer_outputs[0]
+    ideal.recover(0)
+    assert ("recovered",) in ideal.signer_outputs[0]
+    ideal.sign_request(0, "m2", 2)
+    assert ("asked-to-sign", "m2", 2) in ideal.signer_outputs[0]
+
+
+def test_break_recover_idempotent():
+    ideal = IdealSignatureProcess(n=3, t=1)
+    ideal.break_into(0)
+    ideal.break_into(0)
+    ideal.recover(0)
+    ideal.recover(0)
+    assert ideal.signer_outputs[0].count(("compromised",)) == 1
+    assert ideal.signer_outputs[0].count(("recovered",)) == 1
+
+
+def test_unknown_signer_rejected():
+    ideal = IdealSignatureProcess(n=3, t=1)
+    with pytest.raises(ValueError):
+        ideal.sign_request(7, "m", 1)

@@ -1,0 +1,65 @@
+"""Tests for PDS key material and initial dealing."""
+
+import random
+
+import pytest
+
+from repro.crypto.group import named_group
+from repro.crypto.shamir import Share, reconstruct_secret
+from repro.pds.keys import PdsPublic, deal_initial_states
+
+GROUP = named_group("toy64")
+
+
+def test_public_requires_honest_majority():
+    with pytest.raises(ValueError):
+        PdsPublic(group=GROUP, public_key=GROUP.g, n=4, threshold=2)  # needs n >= 5
+
+
+def test_deal_initial_states_consistency():
+    public, states = deal_initial_states(GROUP, n=5, threshold=2, rng=random.Random(1))
+    assert len(states) == 5
+    # all nodes share the same public data
+    for state in states:
+        assert state.public is public
+        assert state.key_commitment == states[0].key_commitment
+        assert state.share_is_valid()
+    # the commitment's constant is the public key
+    assert states[0].key_commitment.public_constant == public.public_key
+    # t+1 shares reconstruct a secret matching the public key
+    secret = reconstruct_secret(GROUP.scalar_field, [s.share for s in states[:3]])
+    assert GROUP.base_power(secret) == public.public_key
+
+
+def test_share_index_is_node_id_plus_one():
+    _, states = deal_initial_states(GROUP, n=5, threshold=2, rng=random.Random(2))
+    for i, state in enumerate(states):
+        assert state.share_index == i + 1
+        assert state.share.x == i + 1
+
+
+def test_share_validity_detects_corruption():
+    _, states = deal_initial_states(GROUP, n=5, threshold=2, rng=random.Random(3))
+    state = states[0]
+    assert state.share_is_valid()
+    state.share = Share(x=state.share.x, value=(state.share.value + 1) % GROUP.q)
+    assert not state.share_is_valid()
+    state.share = None
+    assert not state.share_is_valid()
+
+
+def test_share_validity_detects_wrong_index():
+    _, states = deal_initial_states(GROUP, n=5, threshold=2, rng=random.Random(4))
+    state = states[0]
+    state.share = Share(x=99, value=state.share.value)
+    assert not state.share_is_valid()
+
+
+def test_install_share_logs_erasure():
+    _, states = deal_initial_states(GROUP, n=5, threshold=2, rng=random.Random(5))
+    state = states[0]
+    old = state.share
+    state.install_share(Share(x=1, value=123), state.key_commitment, unit=3)
+    assert state.unit == 3
+    assert state.erasure_log == [(3, "refresh")]
+    assert state.share != old

@@ -1,0 +1,118 @@
+"""Tests for the §6 scalability extensions."""
+
+import pytest
+
+from repro.core.uls import UlsProgram, build_uls_states, uls_schedule
+from repro.crypto.group import named_group
+from repro.crypto.schnorr import SchnorrScheme
+from repro.scale.partition import PartitionPlan, flat_tolerance, simulate_cluster
+from repro.sim.adversary_api import PassiveAdversary
+from repro.sim.runner import ULRunner
+
+GROUP = named_group("toy64")
+SCHEME = SchnorrScheme(GROUP)
+
+
+# ------------------------------------------------------------- partition
+
+def test_sqrt_partition_shapes():
+    plan = PartitionPlan.sqrt_partition(16)
+    assert plan.n == 16
+    assert plan.cluster_count == 4
+    assert all(len(c) == 4 for c in plan.clusters)
+
+
+def test_sqrt_partition_nonsquare():
+    plan = PartitionPlan.sqrt_partition(23)
+    assert plan.n == 23
+    assert all(len(c) >= 2 for c in plan.clusters)
+
+
+def test_partition_rejects_tiny_network():
+    with pytest.raises(ValueError):
+        PartitionPlan.sqrt_partition(3)
+
+
+def test_tolerance_drops_to_about_quarter():
+    """The paper's claim: flat tolerance ~ n/2, partitioned ~ n/4."""
+    for n in (16, 25, 36, 64, 100):
+        plan = PartitionPlan.sqrt_partition(n)
+        flat = flat_tolerance(n)
+        part = plan.tolerance()
+        assert part < flat
+        # partitioned tolerance sits in the n/4 ballpark
+        assert n / 8 <= part + 1 <= n / 2
+
+
+def test_tolerance_16_exact():
+    # 4 clusters of 4; cluster threshold t=1, compromise cost 2;
+    # majority = 3 clusters -> system compromise at 6, tolerance 5
+    plan = PartitionPlan.sqrt_partition(16)
+    assert plan.cluster_compromise_cost(0) == 2
+    assert plan.system_compromise_cost() == 6
+    assert plan.tolerance() == 5
+    assert flat_tolerance(16) == 7
+
+
+def test_describe_fields():
+    info = PartitionPlan.sqrt_partition(25).describe()
+    assert info["n"] == 25
+    assert info["clusters"] == 5
+    assert info["tolerance"] < info["flat_tolerance"]
+
+
+@pytest.mark.slow
+def test_simulate_cluster_runs_real_uls():
+    execution, stats = simulate_cluster(GROUP, SCHEME, size=5, units=2, seed=1)
+    assert execution.units() == 2
+    assert stats.per_refresh_phase > 0
+
+
+# ------------------------------------------------------------- sparse DISPERSE
+
+def run_uls(relay_fanout, units=2, seed=9, n=7, t=2):
+    public, states, keys = build_uls_states(GROUP, SCHEME, n, t, seed=seed)
+    programs = [
+        UlsProgram(states[i], SCHEME, keys[i], relay_fanout=relay_fanout)
+        for i in range(n)
+    ]
+    runner = ULRunner(programs, PassiveAdversary(), uls_schedule(), s=t, seed=seed)
+    execution = runner.run(units=units)
+    return execution, programs
+
+
+@pytest.mark.slow
+def test_sparse_disperse_preserves_refresh_correctness():
+    n, t = 7, 2
+    execution, programs = run_uls(relay_fanout=2 * t + 1, n=n, t=t)
+    for program in programs:
+        assert program.core.alert_units == []
+        assert program.keystore.history == [(1, "ok")]
+        assert program.state.share_is_valid()
+
+
+@pytest.mark.slow
+def test_sparse_disperse_cuts_message_complexity():
+    n, t = 7, 2
+    full_execution, _ = run_uls(relay_fanout=None, n=n, t=t)
+    sparse_execution, _ = run_uls(relay_fanout=2 * t + 1, n=n, t=t)
+    full = full_execution.messages_sent()
+    sparse = sparse_execution.messages_sent()
+    assert sparse < full
+    # fanout 5 instead of 6 of an n=7 network: expect a visible cut
+    assert sparse / full < 0.95
+
+
+def test_disperse_fanout_targets_include_destination():
+    from repro.core.disperse import DisperseService
+    from repro.sim.clock import Schedule
+    from repro.sim.node import NodeContext
+
+    service = DisperseService(relay_fanout=3)
+    sched = Schedule(1, 1, 2)
+    ctx = NodeContext(node_id=5, n=8, info=sched.info(2), rng=None, rom=None,
+                      external_inputs=[])
+    targets = service._targets(ctx, receiver=6)
+    assert 6 in targets
+    assert 5 not in targets
+    assert len(targets) == 3

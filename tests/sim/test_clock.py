@@ -1,0 +1,91 @@
+"""Tests for the round/time-unit schedule (paper Fig. 1)."""
+
+import pytest
+
+from repro.sim.clock import Phase, Schedule
+
+
+@pytest.fixture
+def schedule():
+    return Schedule(setup_rounds=2, refresh_rounds=3, normal_rounds=4)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Schedule(0, 1, 1)
+    with pytest.raises(ValueError):
+        Schedule(1, 0, 1)
+    with pytest.raises(ValueError):
+        Schedule(1, 1, 0)
+
+
+def test_setup_rounds_labelled(schedule):
+    for r in range(2):
+        info = schedule.info(r)
+        assert info.phase is Phase.SETUP
+        assert info.time_unit == 0
+        assert info.index_in_phase == r
+
+
+def test_unit0_normal_rounds(schedule):
+    for i, r in enumerate(range(2, 6)):
+        info = schedule.info(r)
+        assert info.phase is Phase.NORMAL
+        assert info.time_unit == 0
+        assert info.index_in_phase == i
+
+
+def test_unit1_layout(schedule):
+    # unit 1: refresh rounds 6,7,8 then normal 9..12
+    for i, r in enumerate(range(6, 9)):
+        info = schedule.info(r)
+        assert info.phase is Phase.REFRESH
+        assert info.time_unit == 1
+        assert info.index_in_phase == i
+    for i, r in enumerate(range(9, 13)):
+        info = schedule.info(r)
+        assert info.phase is Phase.NORMAL
+        assert info.time_unit == 1
+
+
+def test_phase_boundaries(schedule):
+    assert schedule.info(6).is_phase_start
+    assert schedule.info(8).is_phase_end
+    assert not schedule.info(7).is_phase_start
+    assert not schedule.info(7).is_phase_end
+
+
+def test_total_rounds(schedule):
+    assert schedule.total_rounds(1) == 6
+    assert schedule.total_rounds(2) == 13
+    assert schedule.total_rounds(3) == 20
+    with pytest.raises(ValueError):
+        schedule.total_rounds(0)
+
+
+def test_refresh_start_and_first_normal(schedule):
+    assert schedule.refresh_start(1) == 6
+    assert schedule.refresh_start(2) == 13
+    assert schedule.first_normal_round(0) == 2
+    assert schedule.first_normal_round(1) == 9
+    with pytest.raises(ValueError):
+        schedule.refresh_start(0)
+
+
+def test_rounds_of_unit(schedule):
+    assert list(schedule.rounds_of_unit(0)) == list(range(0, 6))
+    assert list(schedule.rounds_of_unit(1)) == list(range(6, 13))
+    assert list(schedule.rounds_of_unit(2)) == list(range(13, 20))
+
+
+def test_every_round_labelled_consistently(schedule):
+    """Exhaustive consistency: unit/phase labels partition the rounds."""
+    for r in range(schedule.total_rounds(4)):
+        info = schedule.info(r)
+        assert info.round == r
+        assert r in schedule.rounds_of_unit(info.time_unit)
+
+
+def test_negative_round_rejected(schedule):
+    with pytest.raises(ValueError):
+        schedule.info(-1)

@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) on the simulation substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.connectivity import ConnectivityTracker
+from repro.sim.clock import Phase, Schedule
+
+schedules = st.builds(
+    Schedule,
+    setup_rounds=st.integers(min_value=1, max_value=4),
+    refresh_rounds=st.integers(min_value=1, max_value=6),
+    normal_rounds=st.integers(min_value=1, max_value=8),
+)
+
+
+@given(schedules, st.integers(min_value=1, max_value=5))
+@settings(max_examples=100)
+def test_schedule_round_labels_partition(schedule, units):
+    """Every round has exactly one consistent (unit, phase, index) label
+    and the unit ranges tile the whole run."""
+    total = schedule.total_rounds(units)
+    covered = []
+    for unit in range(units):
+        covered.extend(schedule.rounds_of_unit(unit))
+    assert covered == list(range(total))
+    for round_number in range(total):
+        info = schedule.info(round_number)
+        assert 0 <= info.index_in_phase < info.phase_length
+        assert round_number in schedule.rounds_of_unit(info.time_unit)
+        if info.phase is Phase.REFRESH:
+            assert info.time_unit >= 1
+            assert schedule.refresh_start(info.time_unit) <= round_number
+
+
+@given(schedules, st.integers(min_value=1, max_value=4))
+@settings(max_examples=60)
+def test_schedule_first_normal_round_is_normal(schedule, units):
+    for unit in range(units):
+        info = schedule.info(schedule.first_normal_round(unit))
+        assert info.phase is Phase.NORMAL
+        assert info.time_unit == unit
+        assert info.index_in_phase == 0
+
+
+# --------------------------------------------------------- connectivity
+
+n_values = st.integers(min_value=3, max_value=8)
+
+
+@st.composite
+def fault_traces(draw):
+    """Random (broken, unreliable-links) traces over a small schedule."""
+    n = draw(n_values)
+    s = draw(st.integers(min_value=1, max_value=n))
+    rounds = draw(st.integers(min_value=2, max_value=12))
+    trace = []
+    for _ in range(rounds):
+        broken = frozenset(draw(st.sets(st.integers(0, n - 1), max_size=n // 2)))
+        pair_count = draw(st.integers(min_value=0, max_value=4))
+        links = set()
+        for _ in range(pair_count):
+            a = draw(st.integers(0, n - 1))
+            b = draw(st.integers(0, n - 1))
+            if a != b:
+                links.add(frozenset((a, b)))
+        trace.append((broken, frozenset(links)))
+    return n, s, trace
+
+
+SCHED = Schedule(setup_rounds=1, refresh_rounds=2, normal_rounds=3)
+
+
+@given(fault_traces())
+@settings(max_examples=150)
+def test_connectivity_invariants(case):
+    """Structural invariants of the s-operational computation:
+    broken nodes are never operational; with no faults at all everyone is;
+    the operational set only changes through the defined rules (never
+    grows outside refresh-phase promotions)."""
+    n, s, trace = case
+    tracker = ConnectivityTracker(n, s)
+    previous = frozenset(range(n))
+    for round_number, (broken, links) in enumerate(trace):
+        info = SCHED.info(round_number)
+        if info.phase is Phase.SETUP:
+            # the adversary is inactive during set-up (model precondition)
+            broken, links = frozenset(), frozenset()
+        operational = tracker.observe_round(info, broken, links)
+        assert operational.isdisjoint(broken)
+        assert operational <= frozenset(range(n))
+        if info.phase is Phase.SETUP:
+            assert operational == frozenset(range(n))
+        else:
+            grew = operational - previous
+            if grew:
+                # growth only happens at the end of a refreshment phase
+                assert info.phase is Phase.REFRESH and info.is_phase_end
+        previous = operational
+
+
+@given(n_values, st.integers(min_value=1, max_value=8))
+@settings(max_examples=50)
+def test_connectivity_no_faults_everyone_operational(n, s):
+    s = min(s, n)
+    tracker = ConnectivityTracker(n, s)
+    for round_number in range(10):
+        info = SCHED.info(round_number)
+        operational = tracker.observe_round(info, frozenset(), frozenset())
+        assert operational == frozenset(range(n))

@@ -1,0 +1,50 @@
+"""Tests for ROM semantics and envelopes."""
+
+import pytest
+
+from repro.sim.messages import Envelope
+from repro.sim.rom import Rom, RomViolation
+
+
+def test_rom_write_read():
+    rom = Rom()
+    rom.write("v_cert", 42)
+    assert rom.read("v_cert") == 42
+    assert "v_cert" in rom
+    assert rom.get("other", "dflt") == "dflt"
+
+
+def test_rom_freeze_blocks_writes():
+    rom = Rom()
+    rom.write("a", 1)
+    rom.freeze()
+    assert rom.frozen
+    with pytest.raises(RomViolation):
+        rom.write("b", 2)
+    # reads still fine, existing data intact
+    assert rom.read("a") == 1
+
+
+def test_rom_freeze_idempotent():
+    rom = Rom()
+    rom.freeze()
+    rom.freeze()
+    assert rom.frozen
+
+
+def test_rom_keys():
+    rom = Rom()
+    rom.write("x", 1)
+    rom.write("y", 2)
+    assert sorted(rom.keys()) == ["x", "y"]
+
+
+def test_envelope_redirect_and_payload():
+    env = Envelope(sender=0, receiver=1, channel="c", payload=("p",), round_sent=3)
+    redirected = env.redirect(2)
+    assert redirected.receiver == 2
+    assert redirected.sender == 0
+    modified = env.with_payload(("q",))
+    assert modified.payload == ("q",)
+    assert env.payload == ("p",)  # original untouched
+    assert "0->1" in env.describe()
