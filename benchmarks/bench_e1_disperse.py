@@ -9,6 +9,8 @@ delivery curve must be a step function: 100% up to the combinatorial
 crossover, 0% past it.
 """
 
+import os
+
 import pytest
 
 from repro.adversary.strategies import LinkAttackAdversary, LinkFault
@@ -57,10 +59,15 @@ def delivered(n: int, k: int, seed: int = 0) -> bool:
     return any(body == ("probe",) for _, body in programs[RECEIVER].delivered)
 
 
+# BENCH_SMOKE=1 restricts the sweep to the smallest n (used by CI to keep
+# the benchmark job a fast sanity check rather than a full regeneration)
+SWEEP_N = (5,) if os.environ.get("BENCH_SMOKE") else (5, 7, 9, 13)
+
+
 @pytest.fixture(scope="module")
 def table():
     rows = []
-    for n in (5, 7, 9, 13):
+    for n in SWEEP_N:
         relays = n - 2
         for k in range(0, relays + 1):
             ok = delivered(n, k)

@@ -4,12 +4,19 @@
   (GOOD vs BAD1/BAD2/BAD3) that drives the Theorem 14 experiments.
 - :mod:`repro.analysis.emulation` — finite emulation invariants derived
   from the ideal signing process (§3.1, Lemmas 26–28).
+- :mod:`repro.analysis.monitor` — the same invariants evaluated
+  *during* the run (attach to a runner as an observer; fail-fast).
 - :mod:`repro.analysis.metrics` — message/alert/availability statistics.
 """
 
 from repro.analysis.awareness import GlobalAwarenessReport, global_awareness
 from repro.analysis.emulation import EmulationReport, check_emulation_invariants
 from repro.analysis.goodness import ForgedMessage, GoodnessReport, classify_execution
+from repro.analysis.monitor import (
+    InvariantViolationError,
+    RuntimeInvariantMonitor,
+    Violation,
+)
 from repro.analysis.metrics import (
     MessageStats,
     alert_counts,
@@ -24,6 +31,9 @@ __all__ = [
     "global_awareness",
     "EmulationReport",
     "check_emulation_invariants",
+    "InvariantViolationError",
+    "RuntimeInvariantMonitor",
+    "Violation",
     "ForgedMessage",
     "GoodnessReport",
     "classify_execution",

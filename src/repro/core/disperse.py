@@ -53,16 +53,36 @@ class DisperseService:
             from O(n²) to O(nt) messages.  The relay set is the lowest
             node ids (a fixed, commonly-known choice), always including
             the destination.
+        retransmit: default number of bounded retransmissions per send
+            (0 = classic fire-and-forget DISPERSE).  Each retransmission
+            re-floods the same string one round-trip (2 rounds) after the
+            previous flood — Lemma 15 needs only one relay round, so
+            retrying buys delivery through links that were unreliable at
+            the first attempt but recover within the unit.  Pending
+            retransmissions never cross a time-unit boundary: a retry
+            whose turn comes in a later unit is discarded and counted in
+            ``retransmissions_expired`` (stale strings must not pollute
+            the next refreshment phase).
     """
 
-    def __init__(self, relay_fanout: int | None = None) -> None:
+    #: rounds between retransmission attempts (one DISPERSE round trip)
+    RETX_INTERVAL = 2
+
+    def __init__(self, relay_fanout: int | None = None, retransmit: int = 0) -> None:
         # receipts that become visible next round: round -> list
         self._buffered: dict[int, list[tuple[str, int, Any]]] = {}
         self._current: list[tuple[str, int, Any]] = []  # (tag, claimed_src, body)
         self._seen_receipts: set[Hashable] = set()
         self._relayed: set[Hashable] = set()
+        if retransmit < 0:
+            raise ValueError(f"retransmit must be >= 0, got {retransmit}")
         self.relay_fanout = relay_fanout
+        self.retransmit = retransmit
         self.messages_relayed = 0
+        self.retransmissions_sent = 0
+        self.retransmissions_expired = 0
+        # due round -> [(receiver, body, tag, retries_left, time_unit)]
+        self._retx_queue: dict[int, list[tuple[int, Any, str, int, int]]] = {}
 
     def _targets(self, ctx: NodeContext, receiver: int) -> list[int]:
         if self.relay_fanout is None or self.relay_fanout >= ctx.n - 1:
@@ -77,16 +97,42 @@ class DisperseService:
         targets.append(receiver)
         return targets
 
-    def send(self, ctx: NodeContext, receiver: int, body: Any, tag: str = "") -> None:
+    def send(
+        self, ctx: NodeContext, receiver: int, body: Any, tag: str = "",
+        retransmit: int | None = None,
+    ) -> None:
         """Step 1: flood "forward body to receiver" to the relay set
-        (all other nodes unless ``relay_fanout`` restricts it)."""
+        (all other nodes unless ``relay_fanout`` restricts it).
+
+        ``retransmit`` overrides the service default for this send.
+        """
+        self._flood(ctx, receiver, body, tag)
+        retries = self.retransmit if retransmit is None else retransmit
+        if retries > 0:
+            due = ctx.info.round + self.RETX_INTERVAL
+            self._retx_queue.setdefault(due, []).append(
+                (receiver, body, tag, retries, ctx.info.time_unit)
+            )
+
+    def _flood(self, ctx: NodeContext, receiver: int, body: Any, tag: str) -> None:
         payload = ("fwd", tag, ctx.node_id, receiver, body)
         for node in self._targets(ctx, receiver):
             ctx.send(node, DISPERSE_CHANNEL, payload)
 
     def on_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
-        """Steps 2-3: relay foreign forwards, collect receipts."""
+        """Steps 2-3: relay foreign forwards, collect receipts (and fire
+        any retransmissions that come due this round)."""
         round_number = ctx.info.round
+        for receiver, body, tag, retries, unit in self._retx_queue.pop(round_number, ()):
+            if ctx.info.time_unit != unit:
+                self.retransmissions_expired += 1
+                continue
+            self._flood(ctx, receiver, body, tag)
+            self.retransmissions_sent += 1
+            if retries > 1:
+                self._retx_queue.setdefault(round_number + self.RETX_INTERVAL, []).append(
+                    (receiver, body, tag, retries - 1, unit)
+                )
         self._current = self._buffered.pop(round_number, [])
         emitted: set[Hashable] = set()
 

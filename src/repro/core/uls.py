@@ -147,6 +147,8 @@ class UlsCore:
         initial_keys: LocalKeys,
         node_id: int,
         relay_fanout: int | None = None,
+        cert_retransmit: int = 0,
+        cert_grace_rounds: int = 1,
     ) -> None:
         self.state = state
         self.node_id = node_id
@@ -169,11 +171,23 @@ class UlsCore:
         self.pa = PartialAgreementService(self.transport, self.disperse, self.n)
         #: units in which this node raised an alert
         self.alert_units: list[int] = []
+        #: structured degradation events (also emitted as node output)
+        self.degraded_log: list[dict] = []
+        if cert_retransmit < 0:
+            raise ValueError(f"cert_retransmit must be >= 0, got {cert_retransmit}")
+        if cert_grace_rounds < 0:
+            raise ValueError(f"cert_grace_rounds must be >= 0, got {cert_grace_rounds}")
+        #: bounded retransmissions for certificate DISPERSE (step 5)
+        self.cert_retransmit = cert_retransmit
+        #: extra rounds to wait for a late certificate before going to φ
+        self.cert_grace_rounds = cert_grace_rounds
         self._alerted_now = False
         self._refresh_unit: int | None = None
         self._announced: dict[int, tuple] = {}  # node -> first announced key repr
         self._cert_wanted: dict[bytes, int] = {}  # assertion bytes -> target node
         self._obtained_cert: Any | None = None
+        self._certs_completed: set[int] = set()  # targets whose cert we saw complete
+        self._switch_deferred = False
         self._part2_begun = False
         self._app_accepted: list[tuple[int, Any]] = []
         self._completed_signatures: list[tuple[bytes, Any]] = []
@@ -187,11 +201,12 @@ class UlsCore:
         Messages sent within one transport delay of the refresh-phase key
         switch would be signed with the outgoing unit's keys but verified
         after the switch — and die in flight.  Those sends are buffered
-        and flushed right after the switch, preserving the AL model's
-        delivery guarantee across unit boundaries.
+        and flushed right after the switch (which may itself be deferred
+        a few rounds while waiting for a late certificate), preserving
+        the AL model's delivery guarantee across unit boundaries.
         """
         info = ctx.info
-        if (
+        if self._switch_deferred or (
             info.phase is Phase.REFRESH
             and _O_SWITCH - self.transport.delay <= info.index_in_phase < _O_SWITCH
         ):
@@ -248,11 +263,13 @@ class UlsCore:
             target = self._cert_wanted.get(message_bytes)
             if target is None:
                 continue
+            self._certs_completed.add(target)
             if target == self.node_id:
                 self._consider_certificate(message_bytes, signature)
             else:
                 self.disperse.send(
-                    ctx, target, ("cert-deliver", message_bytes, signature), tag=_CERT_TAG
+                    ctx, target, ("cert-deliver", message_bytes, signature),
+                    tag=_CERT_TAG, retransmit=self.cert_retransmit,
                 )
 
         if ctx.info.phase is Phase.REFRESH:
@@ -260,6 +277,7 @@ class UlsCore:
 
         for outcome, unit in self.refresher.events():
             if outcome == "failed":
+                self._degrade(ctx, unit, "share-refresh-failed")
                 self._alert(ctx, unit)
 
     # -- URfr orchestration -----------------------------------------------------
@@ -276,6 +294,8 @@ class UlsCore:
             self._announced = {}
             self._cert_wanted = {}
             self._obtained_cert = None
+            self._certs_completed = set()
+            self._switch_deferred = False
             self._part2_begun = False
             if self.keystore.pending is None or self.keystore.pending.unit != unit:
                 self.keystore.generate_pending(unit, ctx.rng)
@@ -283,11 +303,11 @@ class UlsCore:
             self._start_agreements(ctx, unit, inbox)
         if offset == _O_SIGN:
             self._request_certificates(ctx, unit)
-        if offset == _O_SWITCH:
-            self._switch_keys(ctx, unit)
-            for receiver, message in self._held_app_sends:
-                self.transport.send(ctx, receiver, ("app", message))
-            self._held_app_sends = []
+        if offset == _O_SWITCH or (self._switch_deferred and offset > _O_SWITCH):
+            # the grace window may never outlive the phase: the last
+            # refresh round is an unconditional deadline
+            deadline = min(_O_SWITCH + self.cert_grace_rounds, ctx.info.phase_length - 1)
+            self._try_switch(ctx, unit, final=offset >= deadline)
         if offset == _O_PART2 and not self._part2_begun:
             self._part2_begun = True
             self.refresher.begin(ctx, unit)
@@ -298,6 +318,8 @@ class UlsCore:
         self._announced = {}
         self._cert_wanted = {}
         self._obtained_cert = None
+        self._certs_completed = set()
+        self._switch_deferred = False
         self._part2_begun = False
         self.keystore.generate_pending(unit, ctx.rng)
         my_repr = self.keystore.pending_key_repr()
@@ -350,11 +372,60 @@ class UlsCore:
         if verify_pds_signature(self.state.public, assertion, self._refresh_unit, signature):
             self._obtained_cert = signature
 
-    def _switch_keys(self, ctx: NodeContext, unit: int) -> None:
-        """Part (I) step 5: adopt the new keys, or go to ``φ`` + alert."""
+    def _try_switch(self, ctx: NodeContext, unit: int, final: bool) -> None:
+        """Part (I) step 5: adopt the new keys — with graceful degradation.
+
+        The classic protocol goes straight to ``φ`` + alert when no valid
+        certificate has arrived by ``_O_SWITCH``.  With a positive
+        ``cert_grace_rounds`` the switch is instead *deferred*: the old
+        unit's keys stay in force (so ``_consider_certificate`` keeps
+        working on late-dispersed receipts) and the install is retried
+        each round until the certificate shows up or the deadline passes.
+        A late install emits a structured ``degraded`` event but neither
+        alerts nor fails the unit; only the deadline turns the shortfall
+        into the paper's ``φ`` + alert, from which the node recovers at
+        the next refreshment phase as usual.
+        """
+        if self._obtained_cert is None and not final:
+            self._switch_deferred = True
+            return
+        was_deferred = self._switch_deferred
+        self._switch_deferred = False
         ok = self.keystore.install_pending(self._obtained_cert)
+        if ok and was_deferred:
+            self._degrade(ctx, unit, "certificate-late",
+                          deferred_rounds=ctx.info.index_in_phase - _O_SWITCH)
         if not ok:
+            self._degrade(ctx, unit, "no-certificate")
             self._alert(ctx, unit)
+        for receiver, message in self._held_app_sends:
+            self.transport.send(ctx, receiver, ("app", message))
+        self._held_app_sends = []
+        required = self.n - self.state.public.threshold
+        if len(self._certs_completed) < required:
+            self._degrade(
+                ctx, unit, "partial-certification",
+                certificates_completed=len(self._certs_completed),
+                required=required,
+                missing=sorted(set(range(self.n)) - self._certs_completed),
+            )
+
+    def _degrade(self, ctx: NodeContext, unit: int, reason: str, **details: Any) -> None:
+        """Emit a structured degradation event (output + local log).
+
+        Degradation is the protocol *surviving* a fault, not a security
+        failure: the emulation invariants ignore these entries (they are
+        2-tuples) while analyses and the runtime monitor collect them.
+        """
+        event = {
+            "node": self.node_id,
+            "unit": unit,
+            "round": ctx.info.round,
+            "reason": reason,
+            **details,
+        }
+        self.degraded_log.append(event)
+        ctx.output(("degraded", event))
 
     def _alert(self, ctx: NodeContext, unit: int) -> None:
         self.alert_units.append(unit)
@@ -375,10 +446,14 @@ class UlsProgram(NodeProgram):
         scheme: SignatureScheme,
         initial_keys: LocalKeys,
         relay_fanout: int | None = None,
+        cert_retransmit: int = 0,
+        cert_grace_rounds: int = 1,
     ) -> None:
         super().__init__()
         self.core = UlsCore(
-            state, scheme, initial_keys, node_id=state.node_id, relay_fanout=relay_fanout
+            state, scheme, initial_keys, node_id=state.node_id,
+            relay_fanout=relay_fanout, cert_retransmit=cert_retransmit,
+            cert_grace_rounds=cert_grace_rounds,
         )
         self._pending: dict[bytes, tuple[Any, int]] = {}
         self.signatures: dict[tuple[Any, int], Any] = {}

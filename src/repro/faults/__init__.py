@@ -1,0 +1,33 @@
+"""Chaos fault-injection plane: declarative fault schedules + executor.
+
+See :mod:`repro.faults.plan` for the primitives and the safety argument,
+:mod:`repro.faults.inject` for execution semantics.
+"""
+
+from repro.faults.inject import FaultInjectionAdversary
+from repro.faults.plan import (
+    CrashFault,
+    DelayFault,
+    DropFault,
+    DuplicateFault,
+    FaultPlan,
+    MemoryCorruptionFault,
+    ReorderFault,
+    burst,
+    default_corruptor,
+    mix_seed,
+)
+
+__all__ = [
+    "CrashFault",
+    "DelayFault",
+    "DropFault",
+    "DuplicateFault",
+    "FaultInjectionAdversary",
+    "FaultPlan",
+    "MemoryCorruptionFault",
+    "ReorderFault",
+    "burst",
+    "default_corruptor",
+    "mix_seed",
+]

@@ -35,9 +35,28 @@ from repro.sim.node import Node, NodeContext, NodeProgram
 from repro.sim.randomness import RandomnessSource
 from repro.sim.transcript import COMPROMISED, RECOVERED, Execution, RoundRecord
 
-__all__ = ["Runner", "ALRunner", "ULRunner"]
+__all__ = ["Runner", "ALRunner", "ULRunner", "RunObserver"]
 
 InputProvider = Callable[[int, RoundInfo], list[Any]]
+
+
+class RunObserver:
+    """Hook interface for watching an execution round by round.
+
+    Observers see each :class:`RoundRecord` the moment it is appended —
+    *during* the run, not after it — which is what lets a monitor
+    fail-fast on the exact round an invariant breaks instead of burning
+    the remaining units (see
+    :class:`repro.analysis.monitor.RuntimeInvariantMonitor`).  Observers
+    must treat the execution as read-only; they are analysis, not
+    protocol.
+    """
+
+    def on_round(self, execution: Execution, record: RoundRecord) -> None:
+        """Called after every round's record is appended."""
+
+    def on_run_end(self, execution: Execution) -> None:
+        """Called once after the last round (adversary output included)."""
 
 
 class Runner:
@@ -52,10 +71,13 @@ class Runner:
         schedule: Schedule,
         seed: int | str = 0,
         input_provider: InputProvider | None = None,
+        *,
+        observers: list[RunObserver] | None = None,
     ) -> None:
         self.n = len(programs)
         if self.n < 2:
             raise ValueError("need at least two nodes")
+        self.observers: list[RunObserver] = list(observers or [])
         self.schedule = schedule
         self.seed = seed
         self.randomness = RandomnessSource(seed)
@@ -71,6 +93,10 @@ class Runner:
 
     # -- driver-facing API -----------------------------------------------------
 
+    def add_observer(self, observer: RunObserver) -> None:
+        """Attach an observer before (or even during) :meth:`run`."""
+        self.observers.append(observer)
+
     def add_external_input(self, node_id: int, round_number: int, value: Any) -> None:
         """Schedule the paper's ``x_{i,w}``: an input handed to node
         ``node_id`` at the start of round ``round_number``."""
@@ -83,6 +109,8 @@ class Runner:
         for round_number in range(total):
             self._run_round(self.schedule.info(round_number))
         self.execution.adversary_output.extend(self.adversary.finish())
+        for observer in self.observers:
+            observer.on_run_end(self.execution)
         return self.execution
 
     # -- internals ---------------------------------------------------------------
@@ -149,6 +177,9 @@ class Runner:
                 unreliable_links=unreliable,
             )
         )
+        record = self.execution.records[-1]
+        for observer in self.observers:
+            observer.on_round(self.execution, record)
 
     def _sanitize_plan(self, plan: dict[int, list[Envelope]]) -> None:
         for receiver, envelopes in plan.items():
@@ -277,8 +308,11 @@ class ULRunner(Runner):
         s: int,
         seed: int | str = 0,
         input_provider: InputProvider | None = None,
+        *,
+        observers: list[RunObserver] | None = None,
     ) -> None:
-        super().__init__(programs, adversary, schedule, seed, input_provider)
+        super().__init__(programs, adversary, schedule, seed, input_provider,
+                         observers=observers)
         self.s = s
         self.tracker = ConnectivityTracker(self.n, s)
 

@@ -1,0 +1,275 @@
+"""RuntimeInvariantMonitor: incremental checking, fail-fast, attribution."""
+
+import pytest
+
+from tests.helpers import EchoProgram
+from repro.analysis import (
+    InvariantViolationError,
+    RuntimeInvariantMonitor,
+    check_emulation_invariants,
+)
+from repro.faults import CrashFault, FaultInjectionAdversary, FaultPlan, burst
+from repro.sim.adversary_api import PassiveAdversary
+from repro.sim.clock import Phase, Schedule
+from repro.sim.messages import Envelope
+from repro.sim.node import ALERT, NodeContext, NodeProgram
+from repro.sim.runner import ULRunner
+
+SCHED = Schedule(setup_rounds=2, refresh_rounds=4, normal_rounds=10)
+N, T = 5, 2
+
+
+def run_monitored(programs, adversary, monitor, units=3, seed=42):
+    runner = ULRunner(programs, adversary, SCHED, s=T, seed=seed,
+                      observers=[monitor])
+    return runner.run(units=units)
+
+
+# ------------------------------------------------------------------ clean runs
+
+def test_clean_run_has_no_violations_and_matches_post_hoc():
+    monitor = RuntimeInvariantMonitor(T, fail_fast=True)
+    programs = [EchoProgram() for _ in range(N)]
+    execution = run_monitored(programs, PassiveAdversary(), monitor)
+    assert monitor.ok and monitor.finalized
+    assert monitor.rounds_seen == len(execution.records)
+    post = check_emulation_invariants(execution, T)
+    assert monitor.violation_tuples() == post.violations == []
+
+
+def test_clean_faulty_run_within_limits_is_still_clean():
+    for seed in range(5):
+        plan = FaultPlan.generate(seed=seed, n=N, t=T, schedule=SCHED, units=3)
+        monitor = RuntimeInvariantMonitor(T, fail_fast=True)
+        programs = [EchoProgram() for _ in range(N)]
+        execution = run_monitored(programs, FaultInjectionAdversary(plan), monitor)
+        assert monitor.ok, (seed, monitor.violations)
+        assert check_emulation_invariants(execution, T).ok
+
+
+# ---------------------------------------------------------- L1 fail-fast round
+
+def test_l1_fail_fast_reports_the_exact_round():
+    """t+1 simultaneous crashes break the Definition 7 budget at a known
+    round; the monitor must raise *during* that round, naming it."""
+    plan = FaultPlan(seed=1, crashes=tuple(
+        CrashFault(node=i, first_round=6, last_round=8) for i in range(T + 1)))
+    monitor = RuntimeInvariantMonitor(T, fail_fast=True)
+    programs = [EchoProgram() for _ in range(N)]
+    with pytest.raises(InvariantViolationError) as excinfo:
+        run_monitored(programs, FaultInjectionAdversary(plan), monitor)
+    violation = excinfo.value.violation
+    assert violation.invariant == "L1-limit"
+    assert violation.event_round == 6
+    assert violation.detected_round == 6
+    assert violation.details["impaired"] == [0, 1, 2]
+
+
+def test_burst_plan_fails_fast_at_its_first_round():
+    plan = burst(9, victims=[0, 1, 2], peers=range(N), first_round=5, last_round=9)
+    monitor = RuntimeInvariantMonitor(T, fail_fast=True)
+    programs = [EchoProgram() for _ in range(N)]
+    with pytest.raises(InvariantViolationError) as excinfo:
+        run_monitored(programs, FaultInjectionAdversary(plan), monitor)
+    assert excinfo.value.violation.event_round == 5
+
+
+def test_fail_fast_false_collects_everything():
+    plan = FaultPlan(seed=1, crashes=tuple(
+        CrashFault(node=i, first_round=6, last_round=8) for i in range(T + 1)))
+    monitor = RuntimeInvariantMonitor(T, fail_fast=False)
+    programs = [EchoProgram() for _ in range(N)]
+    run_monitored(programs, FaultInjectionAdversary(plan), monitor)
+    assert not monitor.ok
+    rounds = [v.event_round for v in monitor.violations]
+    # broken at 6..8, then still s-disconnected until the next refresh
+    # phase re-admits them (Def. 5.3) — every such round is over budget
+    assert rounds[:3] == [6, 7, 8]
+    assert rounds == sorted(rounds)
+    assert all(v.invariant == "L1-limit" for v in monitor.violations)
+
+
+def test_check_limits_false_disables_l1():
+    plan = FaultPlan(seed=1, crashes=tuple(
+        CrashFault(node=i, first_round=6, last_round=8) for i in range(T + 1)))
+    monitor = RuntimeInvariantMonitor(T, check_limits=False, fail_fast=True)
+    programs = [EchoProgram() for _ in range(N)]
+    run_monitored(programs, FaultInjectionAdversary(plan), monitor)
+    assert monitor.ok
+
+
+# ------------------------------------------------------------------- I3 alerts
+
+class AlwaysAlertProgram(NodeProgram):
+    """Alerts at one fixed round while staying fully operational — the
+    textbook I3 violation (an ideal-model node never alerts unprovoked)."""
+
+    def __init__(self, alert_round):
+        super().__init__()
+        self.alert_round = alert_round
+
+    def step(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        ctx.broadcast("noise", ctx.info.round)
+        if ctx.info.round == self.alert_round:
+            ctx.alert()
+
+
+def test_i3_violation_carries_the_alert_round():
+    alert_round = 7
+    programs = [AlwaysAlertProgram(alert_round if i == 0 else -1) for i in range(N)]
+    monitor = RuntimeInvariantMonitor(T, fail_fast=False)
+    execution = run_monitored(programs, PassiveAdversary(), monitor, units=2)
+    i3 = [v for v in monitor.violations if v.invariant == "I3-false-alert"]
+    assert len(i3) == 1
+    assert i3[0].event_round == alert_round
+    assert i3[0].unit == SCHED.info(alert_round).time_unit
+    assert i3[0].details == (0, 0)  # (unit, node)
+    # detection waits for the unit boundary ("operational throughout" is
+    # not knowable earlier), which is still mid-run, not post-hoc
+    assert i3[0].detected_round == SCHED.rounds_of_unit(0)[-1] + 1
+    # and the post-hoc checker agrees
+    post = check_emulation_invariants(execution, T)
+    assert ("I3-false-alert", (0, 0)) in post.violations
+
+
+def test_i3_alert_in_last_unit_is_caught_at_run_end():
+    last_round = SCHED.total_rounds(2) - 1
+    programs = [AlwaysAlertProgram(last_round if i == 1 else -1) for i in range(N)]
+    monitor = RuntimeInvariantMonitor(T, fail_fast=False)
+    run_monitored(programs, PassiveAdversary(), monitor, units=2)
+    i3 = [v for v in monitor.violations if v.invariant == "I3-false-alert"]
+    assert len(i3) == 1 and i3[0].event_round == last_round
+
+
+def test_broken_node_alert_is_not_a_violation():
+    """An alert from a node that was broken during the unit is legitimate
+    (it is not operational-throughout)."""
+    alert_round = 7
+    programs = [AlwaysAlertProgram(alert_round if i == 0 else -1) for i in range(N)]
+    plan = FaultPlan(seed=1, crashes=(CrashFault(node=0, first_round=3,
+                                                 last_round=4),))
+    monitor = RuntimeInvariantMonitor(T, fail_fast=True)
+    run_monitored(programs, FaultInjectionAdversary(plan), monitor, units=2)
+    assert monitor.ok
+
+
+# ------------------------------------------------------------------ I1 signing
+
+class FakeSignerProgram(NodeProgram):
+    """Outputs "signed" without any quorum of "asked-to-sign" — a forged
+    signature appearing in the global output (the I1 event)."""
+
+    def __init__(self, forge_round):
+        super().__init__()
+        self.forge_round = forge_round
+
+    def step(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        ctx.broadcast("noise", ctx.info.round)
+        if ctx.info.round == self.forge_round:
+            ctx.output(("signed", "forged-msg", ctx.info.time_unit))
+
+
+def test_i1_violation_attributes_the_signed_event():
+    forge_round = 7
+    programs = [FakeSignerProgram(forge_round if i == 0 else -1) for i in range(N)]
+    monitor = RuntimeInvariantMonitor(T, fail_fast=False)
+    execution = run_monitored(programs, PassiveAdversary(), monitor, units=2)
+    i1 = [v for v in monitor.violations if v.invariant == "I1-threshold"]
+    assert len(i1) == 1
+    assert i1[0].event_round == forge_round
+    assert i1[0].unit == 0
+    # post-hoc checker flags the same (message, unit)
+    post = check_emulation_invariants(execution, T)
+    assert any(label == "I1-threshold" for label, _ in post.violations)
+
+
+def test_i1_signed_event_after_its_unit_is_decided_immediately():
+    """A forged "signed" for unit 0 appearing in unit 1 is decidable the
+    round it appears (unit 0's data is final by then)."""
+    forge_round = SCHED.first_normal_round(1) + 1
+    programs = [FakeSignerProgram(-1) for _ in range(N)]
+
+    class LateForger(FakeSignerProgram):
+        def step(self, ctx, inbox):
+            ctx.broadcast("noise", ctx.info.round)
+            if ctx.info.round == self.forge_round:
+                ctx.output(("signed", "late-forgery", 0))  # claims unit 0
+
+    programs[0] = LateForger(forge_round)
+    monitor = RuntimeInvariantMonitor(T, fail_fast=False)
+    run_monitored(programs, PassiveAdversary(), monitor, units=2)
+    i1 = [v for v in monitor.violations if v.invariant == "I1-threshold"]
+    assert len(i1) == 1
+    assert i1[0].event_round == forge_round
+    assert i1[0].detected_round == forge_round  # no waiting for a boundary
+
+
+def test_legitimately_requested_signature_is_not_flagged():
+    """t+1 requests before the signature -> I1 holds; the monitor must not
+    false-positive mid-unit while requests are still accumulating."""
+
+    class RequesterProgram(NodeProgram):
+        def __init__(self, ask_round, sign_round):
+            super().__init__()
+            self.ask_round = ask_round
+            self.sign_round = sign_round
+
+        def step(self, ctx, inbox):
+            ctx.broadcast("noise", ctx.info.round)
+            if ctx.info.round == self.ask_round:
+                ctx.output(("asked-to-sign", "m", ctx.info.time_unit))
+            if self.sign_round == ctx.info.round:
+                ctx.output(("signed", "m", ctx.info.time_unit))
+
+    # all nodes ask at round 5 and all report signed at round 8 (so I2
+    # holds too); no I1 may fire even though the quorum was still
+    # accumulating when the unit began
+    programs = [RequesterProgram(5, 8) for i in range(N)]
+    monitor = RuntimeInvariantMonitor(T, fail_fast=True)
+    run_monitored(programs, PassiveAdversary(), monitor, units=2)
+    i1 = [v for v in monitor.violations if v.invariant == "I1-threshold"]
+    assert i1 == []
+
+
+# ----------------------------------------------------------------- I2 liveness
+
+def test_i2_violation_detected_with_one_unit_grace():
+    """All n nodes ask, nobody signs: I2 breaks.  Detection must wait one
+    full unit (signatures may legitimately complete in u+1) and then fire."""
+
+    class AskOnlyProgram(NodeProgram):
+        def step(self, ctx, inbox):
+            ctx.broadcast("noise", ctx.info.round)
+            if ctx.info.round == 5:
+                ctx.output(("asked-to-sign", "m", ctx.info.time_unit))
+
+    programs = [AskOnlyProgram() for _ in range(N)]
+    monitor = RuntimeInvariantMonitor(T, fail_fast=False)
+    execution = run_monitored(programs, PassiveAdversary(), monitor, units=3)
+    i2 = [v for v in monitor.violations if v.invariant == "I2-liveness"]
+    assert len(i2) == 1
+    assert i2[0].unit == 0
+    assert i2[0].details[1] == list(range(N))  # everyone is missing
+    # decided when unit 2 started, not at run end
+    assert i2[0].detected_round == SCHED.rounds_of_unit(2)[0]
+    post = check_emulation_invariants(execution, T)
+    assert any(label == "I2-liveness" for label, _ in post.violations)
+
+
+# ------------------------------------------------------------ degraded events
+
+def test_degraded_events_are_collected_not_flagged():
+    class DegradingProgram(NodeProgram):
+        def step(self, ctx, inbox):
+            ctx.broadcast("noise", ctx.info.round)
+            if ctx.info.round == 6:
+                ctx.output(("degraded", {"node": ctx.node_id, "unit": 0,
+                                         "round": 6, "reason": "test"}))
+
+    programs = [DegradingProgram() for _ in range(N)]
+    monitor = RuntimeInvariantMonitor(T, fail_fast=True)
+    run_monitored(programs, PassiveAdversary(), monitor, units=2)
+    assert monitor.ok
+    assert len(monitor.degraded_events) == N
+    node, event_round, payload = monitor.degraded_events[0]
+    assert event_round == 6 and payload["reason"] == "test"

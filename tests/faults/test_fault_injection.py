@@ -1,0 +1,168 @@
+"""FaultInjectionAdversary execution semantics, fault by fault."""
+
+from tests.helpers import EchoProgram
+from repro.faults import (
+    CrashFault,
+    DelayFault,
+    DropFault,
+    DuplicateFault,
+    FaultInjectionAdversary,
+    FaultPlan,
+    MemoryCorruptionFault,
+    ReorderFault,
+)
+from repro.sim.clock import Schedule
+from repro.sim.runner import ALRunner, ULRunner
+
+SCHED = Schedule(setup_rounds=2, refresh_rounds=4, normal_rounds=10)
+N = 5
+LINK01 = frozenset((0, 1))
+
+
+def run_plan(plan, units=2, seed=42, model=ULRunner):
+    programs = [EchoProgram() for _ in range(N)]
+    adversary = FaultInjectionAdversary(plan)
+    if model is ULRunner:
+        runner = ULRunner(programs, adversary, SCHED, s=2, seed=seed)
+    else:
+        runner = ALRunner(programs, adversary, SCHED, seed=seed)
+    execution = runner.run(units=units)
+    return execution, programs, adversary
+
+
+# -------------------------------------------------------------------- crashes
+
+def test_crash_records_broken_interval_and_recovers():
+    plan = FaultPlan(seed=1, crashes=(CrashFault(node=2, first_round=4, last_round=6),))
+    execution, programs, adversary = run_plan(plan)
+    for rnd, record in enumerate(execution.records):
+        assert (2 in record.broken) == (4 <= rnd <= 6), rnd
+    # the program is silent from the round after the break through the
+    # round of the leave, then resumes
+    echoed_rounds = {rnd for rnd, sender, _ in programs[0].received if sender == 2}
+    for rnd in (6, 7):  # sent at 5,6 (while broken) -> nothing arrives
+        assert rnd not in echoed_rounds
+    assert 9 in echoed_rounds  # resumed at 8, arrives at 9
+    assert adversary.stats["crashes"] == 1
+
+
+def test_crash_works_in_al_model_too():
+    plan = FaultPlan(seed=1, crashes=(CrashFault(node=2, first_round=4, last_round=5),))
+    execution, _, adversary = run_plan(plan, model=ALRunner)
+    assert 2 in execution.records[4].broken
+    assert 2 in execution.records[5].broken
+    assert 2 not in execution.records[6].broken
+    assert adversary.stats["crashes"] == 1
+
+
+# ---------------------------------------------------------------- corruptions
+
+def test_memory_corruption_breaks_for_one_round_and_damages_state():
+    plan = FaultPlan(seed=1, corruptions=(MemoryCorruptionFault(node=3, round=5),))
+    execution, programs, adversary = run_plan(plan)
+    assert 3 in execution.records[5].broken
+    assert 3 not in execution.records[6].broken
+    # EchoProgram has no PDS share; the default corruptor scrambles .secret
+    assert programs[3].secret != "initial-secret"
+    assert programs[3].secret.startswith("corrupted-")
+    assert adversary.stats["corruptions"] == 1
+
+
+def test_custom_mutator_is_used():
+    seen = []
+
+    def mutator(program, rng):
+        seen.append(program.node_id)
+        program.counter = -100
+
+    plan = FaultPlan(seed=1, corruptions=(
+        MemoryCorruptionFault(node=1, round=5, mutator=mutator),))
+    _, programs, _ = run_plan(plan)
+    assert seen == [1]
+    assert programs[1].counter != 0  # resumed counting from the damage
+
+
+# ---------------------------------------------------------------- link faults
+
+def test_drop_makes_link_unreliable_and_messages_vanish():
+    plan = FaultPlan(seed=1, drops=(DropFault(link=LINK01, first_round=4, last_round=5),))
+    execution, programs, adversary = run_plan(plan)
+    for rnd in (4, 5):
+        assert LINK01 in execution.records[rnd].unreliable_links
+    assert LINK01 not in execution.records[6].unreliable_links
+    # node 1 misses node 0's round-4 and round-5 echoes
+    arrivals = {rnd for rnd, sender, _ in programs[1].received if sender == 0}
+    assert 5 not in arrivals and 6 not in arrivals
+    assert 4 in arrivals and 7 in arrivals
+    assert adversary.stats["dropped"] == 4  # both directions, two rounds
+
+
+def test_duplicate_makes_link_unreliable_but_all_copies_arrive():
+    plan = FaultPlan(seed=1, duplications=(
+        DuplicateFault(link=LINK01, first_round=4, last_round=4, copies=2),))
+    execution, programs, adversary = run_plan(plan)
+    assert LINK01 in execution.records[4].unreliable_links
+    copies = [payload for rnd, sender, payload in programs[1].received
+              if sender == 0 and rnd == 5]
+    assert len(copies) == 3  # original + 2 duplicates
+    assert adversary.stats["duplicated"] == 4  # 2 copies x both directions
+
+
+def test_reorder_is_invisible_to_definition_4():
+    """Shuffling an inbox preserves the per-link multiset, so no link may
+    be classified unreliable (the multiset diff of Def. 4 cannot see it)."""
+    plan = FaultPlan(seed=1, reorders=(ReorderFault(receiver=None,
+                                                    first_round=2, last_round=11),))
+    execution, _, adversary = run_plan(plan)
+    assert adversary.stats["reordered"] > 0
+    for record in execution.records:
+        assert record.unreliable_links == frozenset()
+        assert record.operational == frozenset(range(N))
+
+
+def test_delay_marks_both_rounds_unreliable_and_message_arrives_late():
+    plan = FaultPlan(seed=1, delays=(DelayFault(link=LINK01, first_round=4,
+                                                last_round=4, delay=2),))
+    execution, programs, adversary = run_plan(plan)
+    # missing at the send round, surplus at the release round
+    assert LINK01 in execution.records[4].unreliable_links
+    assert LINK01 in execution.records[6].unreliable_links
+    arrivals = [rnd for rnd, sender, payload in programs[1].received
+                if sender == 0 and payload[2] == 4]  # counter == send round
+    assert arrivals == [7]  # sent round 4, released round 6, stepped round 7
+    assert adversary.stats["delayed"] == 2  # both directions
+
+
+def test_delay_crossing_unit_boundary_expires():
+    """Bounded delay with per-unit timeout: traffic held past the end of
+    its unit is discarded, never delivered into the refreshment phase."""
+    last_normal = SCHED.first_normal_round(0) + SCHED.normal_rounds - 1
+    plan = FaultPlan(seed=1, delays=(
+        DelayFault(link=LINK01, first_round=last_normal, last_round=last_normal,
+                   delay=3),))
+    execution, programs, adversary = run_plan(plan)
+    assert adversary.stats["expired"] == 2  # both directions died
+    assert adversary.stats["delayed"] == 0
+    # and the payload never shows up anywhere later
+    lost = [entry for rnd, sender, entry in programs[1].received
+            if sender == 0 and entry[2] == last_normal]
+    assert lost == []
+
+
+def test_channel_filter_limits_the_blast_radius():
+    plan = FaultPlan(seed=1, drops=(
+        DropFault(link=LINK01, first_round=4, last_round=5,
+                  channels=frozenset({"not-echo"})),))
+    execution, _, adversary = run_plan(plan)
+    assert adversary.stats["dropped"] == 0
+    for record in execution.records:
+        assert record.unreliable_links == frozenset()
+
+
+def test_fault_stats_are_published_in_adversary_output():
+    plan = FaultPlan(seed=1, crashes=(CrashFault(node=2, first_round=4, last_round=5),))
+    execution, _, _ = run_plan(plan)
+    stats_entries = [entry for entry in execution.adversary_output
+                     if isinstance(entry, tuple) and entry[0] == "fault-stats"]
+    assert len(stats_entries) == 1
+    assert stats_entries[0][1]["crashes"] == 1

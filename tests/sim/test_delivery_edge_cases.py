@@ -1,0 +1,168 @@
+"""Delivery-plan edge cases vs. the Definition 4 link classification.
+
+The UL adversary owns delivery and may hand back anything; these tests
+pin how the runner's multiset diff and the ConnectivityTracker classify
+the edge shapes a naive diff gets wrong: duplicates (surplus), injections
+of never-sent envelopes (surplus on a link that saw no sends), empty
+plans (deficit on every used link), and exact permutations (no diff at
+all).
+"""
+
+from tests.helpers import EchoProgram
+from repro.sim.adversary_api import Adversary, faithful_delivery
+from repro.sim.clock import Schedule
+from repro.sim.runner import ULRunner
+
+SCHED = Schedule(setup_rounds=2, refresh_rounds=3, normal_rounds=8)
+N, S = 4, 2
+
+
+def run(adversary, units=1, seed=11):
+    programs = [EchoProgram() for _ in range(N)]
+    runner = ULRunner(programs, adversary, SCHED, s=S, seed=seed)
+    execution = runner.run(units=units)
+    return execution, programs
+
+
+def test_duplicate_envelope_marks_the_link_unreliable():
+    class Duplicator(Adversary):
+        def deliver(self, api, info, traffic):
+            plan = faithful_delivery(traffic, api.n)
+            if info.round == 4:
+                for envelope in list(plan[1]):
+                    if envelope.sender == 0:
+                        plan[1].append(envelope)
+            return plan
+
+    execution, programs = run(Duplicator())
+    record = execution.records[4]
+    assert frozenset({0, 1}) in record.unreliable_links
+    # only that link: duplication of 0->1 does not implicate other links
+    assert record.unreliable_links == frozenset({frozenset({0, 1})})
+    # the duplicate is really delivered (Def. 4 counts multiset surplus)
+    copies = [p for rnd, sender, p in programs[1].received
+              if rnd == 5 and sender == 0]
+    assert len(copies) == 2
+    # with s=2, one bad link leaves everyone operational
+    assert record.operational == frozenset(range(N))
+
+
+def test_injected_envelope_is_surplus_on_an_otherwise_clean_link():
+    class Injector(Adversary):
+        def deliver(self, api, info, traffic):
+            plan = faithful_delivery(traffic, api.n)
+            if info.round == 4:
+                plan[1].append(api.forge_envelope(2, 1, "echo", ("forged",)))
+            return plan
+
+    execution, programs = run(Injector())
+    record = execution.records[4]
+    # the 2->1 link delivered one envelope more than was sent on it
+    assert frozenset({1, 2}) in record.unreliable_links
+    assert record.unreliable_links == frozenset({frozenset({1, 2})})
+    assert ("forged",) in [p for _, _, p in programs[1].received]
+
+
+def test_injection_on_a_silent_link_is_still_unreliable():
+    """Injecting on a link that carried no honest traffic at all: the
+    diff must flag it (delivered != sent means surplus too)."""
+
+    class SilentChannelInjector(Adversary):
+        def deliver(self, api, info, traffic):
+            plan = faithful_delivery(traffic, api.n)
+            if info.round == 4:
+                # "quiet" channel never used by EchoProgram
+                plan[3].append(api.forge_envelope(0, 3, "quiet", ("ghost",)))
+            return plan
+
+    execution, _ = run(SilentChannelInjector())
+    assert frozenset({0, 3}) in execution.records[4].unreliable_links
+
+
+def test_empty_delivery_plan_marks_every_used_link_unreliable():
+    class BlackHole(Adversary):
+        def deliver(self, api, info, traffic):
+            if info.round == 4:
+                return {i: [] for i in range(api.n)}
+            return faithful_delivery(traffic, api.n)
+
+    execution, _ = run(BlackHole(), units=2)
+    record = execution.records[4]
+    # every pair exchanged echo traffic, so every link shows a deficit
+    all_links = frozenset(frozenset({i, j}) for i in range(N) for j in range(i + 1, N))
+    assert record.unreliable_links == all_links
+    # with s=2 and every link bad, nobody is operational this round
+    assert record.operational == frozenset()
+    # links are clean again next round, but operationality does not come
+    # back with them (Def. 5 is incremental, not per-round)
+    next_round = execution.records[5]
+    assert next_round.unreliable_links == frozenset()
+    assert next_round.operational == frozenset()
+    # and with *everyone* down, Def. 5.3 recovery is impossible: it needs
+    # n - s helpers that stayed operational throughout a refreshment
+    # phase, and there are none — total collapse is permanent
+    assert execution.records[-1].operational == frozenset()
+
+
+def test_partial_outage_recovers_at_refresh_phase_end():
+    """One node's links die for a while; it drops out of the operational
+    set and is re-admitted exactly at the end of the next refreshment
+    phase (Def. 5.3), not before."""
+
+    class Isolator(Adversary):
+        def deliver(self, api, info, traffic):
+            plan = faithful_delivery(traffic, api.n)
+            if 4 <= info.round <= 6:
+                for receiver in plan:
+                    plan[receiver] = [e for e in plan[receiver]
+                                      if 3 not in (e.sender, receiver)]
+            return plan
+
+    execution, _ = run(Isolator(), units=2)
+    assert execution.records[4].operational == frozenset({0, 1, 2})
+    refresh_end = SCHED.rounds_of_unit(1)[SCHED.refresh_rounds - 1]
+    # disconnected through the outage and beyond, despite clean links
+    for rnd in range(4, refresh_end):
+        assert 3 not in execution.records[rnd].operational, rnd
+    # re-admitted at the refreshment-phase end, and stays in
+    for rnd in range(refresh_end, len(execution.records)):
+        assert execution.records[rnd].operational == frozenset(range(N)), rnd
+
+
+def test_permuted_plan_is_fully_reliable():
+    """Reordering within an inbox preserves every per-link multiset: the
+    classification must stay clean (Def. 4 is order-blind)."""
+
+    class Permuter(Adversary):
+        def deliver(self, api, info, traffic):
+            plan = faithful_delivery(traffic, api.n)
+            for receiver in plan:
+                plan[receiver] = list(reversed(plan[receiver]))
+            return plan
+
+    execution, _ = run(Permuter())
+    for record in execution.records:
+        assert record.unreliable_links == frozenset()
+        assert record.operational == frozenset(range(N))
+
+
+def test_empty_plan_during_silence_is_clean():
+    """An empty plan when nothing was sent is *not* a fault."""
+
+    class MutePrograms(EchoProgram):
+        def step(self, ctx, inbox):  # receive but never send
+            for envelope in inbox:
+                self.received.append((ctx.info.round, envelope.sender, envelope.payload))
+
+    programs = [MutePrograms() for _ in range(N)]
+
+    class AlwaysEmpty(Adversary):
+        def deliver(self, api, info, traffic):
+            assert not traffic
+            return {i: [] for i in range(api.n)}
+
+    runner = ULRunner(programs, AlwaysEmpty(), SCHED, s=S, seed=11)
+    execution = runner.run(units=1)
+    for record in execution.records:
+        assert record.unreliable_links == frozenset()
+        assert record.operational == frozenset(range(N))
