@@ -32,7 +32,7 @@ from repro.sim.messages import Envelope
 from repro.sim.node import NodeContext, NodeProgram
 from repro.sim.runner import ULRunner
 
-from common import GROUP, SCHEME, emit, format_table
+from common import GROUP, SCHEME, emit, format_table, table_data
 
 N, T = 5, 2
 UNITS = 3
@@ -123,11 +123,12 @@ def sweep():
 def test_e13_chaos_sweep_holds_the_invariants(sweep, benchmark):
     assert len(sweep) >= 50  # the acceptance floor: >= 50 seeded plans
     assert all(row[5] == 0 for row in sweep)
+    headers = ["protocol", "seed", "faults", "delivered/ok-units", "degraded", "violations"]
     emit("e13_chaos", format_table(
         "E13  chaos sweep: seeded (s,t)-limited fault plans vs. invariants I1-I3",
-        ["protocol", "seed", "faults", "delivered/ok-units", "degraded", "violations"],
+        headers,
         sweep,
-    ))
+    ), data=table_data(headers, sweep))
     benchmark(lambda: run_disperse_chaos(7))
 
 

@@ -21,7 +21,7 @@ from repro.sim.messages import Envelope
 from repro.sim.node import NodeContext, NodeProgram
 from repro.sim.runner import ULRunner
 
-from common import emit, format_table
+from common import emit, format_table, table_data
 
 SCHED = Schedule(setup_rounds=1, refresh_rounds=1, normal_rounds=8)
 SENDER, RECEIVER = 0, 1
@@ -80,9 +80,10 @@ def table():
 
 
 def test_e1_disperse_delivery_crossover(table, benchmark):
+    headers = ["n", "links killed per endpoint k", "delivered", "common-neighbour predicts"]
     emit("e1_disperse", format_table(
         "E1  DISPERSE delivery under split link attacks (Lemma 15)",
-        ["n", "links killed per endpoint k", "delivered", "common-neighbour predicts"],
+        headers,
         table,
-    ))
+    ), data=table_data(headers, table))
     benchmark(lambda: delivered(7, 2))

@@ -15,7 +15,7 @@ import pytest
 
 from repro.analysis.metrics import message_stats
 
-from common import build_uls_network, emit, format_table
+from common import build_uls_network, emit, format_table, table_data
 
 T = 2
 UNITS = 2
@@ -52,11 +52,12 @@ def table():
 
 
 def test_e8_message_complexity(table, benchmark):
+    headers = ["n", "t", "full msgs/refresh", "sparse msgs/refresh", "sparse/full",
+               "full msgs/normal-round", "sparse msgs/normal-round"]
     emit("e8_complexity", format_table(
         "E8  Refresh message complexity: full flood (O(n^2) per node) vs "
         f"2t+1-relay DISPERSE (O(nt)), t={T}",
-        ["n", "t", "full msgs/refresh", "sparse msgs/refresh", "sparse/full",
-         "full msgs/normal-round", "sparse msgs/normal-round"],
+        headers,
         table,
-    ))
+    ), data=table_data(headers, table))
     benchmark(lambda: run_variant(6, 2 * T + 1, seed=1))

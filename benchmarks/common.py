@@ -11,6 +11,7 @@ Run with ``pytest benchmarks/ --benchmark-only``.
 
 from __future__ import annotations
 
+import json
 import pathlib
 from typing import Any, Sequence
 
@@ -42,11 +43,42 @@ def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any
     return "\n".join(lines)
 
 
-def emit(experiment_id: str, table: str) -> None:
-    """Print the table and persist it under benchmarks/results/."""
+def emit(experiment_id: str, table: str, data: Any | None = None) -> None:
+    """Print the table and persist it under benchmarks/results/.
+
+    When ``data`` is given, a machine-readable twin of the table is also
+    written as ``BENCH_<EXPERIMENT>.json`` (e.g. ``e8_complexity`` →
+    ``BENCH_E8.json``) so downstream tooling — CI artifacts, regression
+    diffing, the ROADMAP numbers — never has to parse the text table.
+    """
     print("\n" + table + "\n")
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{experiment_id}.txt").write_text(table + "\n")
+    if data is not None:
+        emit_json(f"BENCH_{experiment_id.split('_')[0].upper()}", data)
+
+
+def emit_json(stem: str, data: Any) -> pathlib.Path:
+    """Write ``data`` as canonical JSON (sorted keys) to
+    ``benchmarks/results/<stem>.json`` and return the path."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{stem}.json"
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def table_data(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> dict:
+    """The standard JSON twin of a text table: named columns per row."""
+    return {
+        "headers": list(headers),
+        "rows": [dict(zip(headers, map(_jsonable, row))) for row in rows],
+    }
+
+
+def _jsonable(cell: Any) -> Any:
+    if isinstance(cell, (str, int, float, bool)) or cell is None:
+        return cell
+    return str(cell)
 
 
 def build_uls_network(n: int, t: int, seed: int, adversary=None, relay_fanout=None,

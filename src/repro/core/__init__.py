@@ -16,7 +16,7 @@ UL model.
 
 from repro.core.auth_send import AuthSendTransport
 from repro.core.authenticator import AuthenticatedProgram, compile_protocol
-from repro.core.certify import CertifiedMessage, certify, ver_cert
+from repro.core.certify import CertifiedMessage, certify, ver_cert, ver_cert_many
 from repro.core.disperse import DisperseService
 from repro.core.keystore import KeyStore, LocalKeys, certificate_assertion
 from repro.core.naive import NaiveImpersonator, NaiveProgram
@@ -39,6 +39,7 @@ __all__ = [
     "CertifiedMessage",
     "certify",
     "ver_cert",
+    "ver_cert_many",
     "DisperseService",
     "KeyStore",
     "LocalKeys",

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.core.certify import CertifiedMessage, certify, ver_cert
+from repro.core.certify import CertifiedMessage, certify, prime_parsed, ver_cert_many
 from repro.core.disperse import DisperseService
 from repro.core.keystore import KeyStore
 from repro.pds.keys import PdsPublic
@@ -81,16 +81,21 @@ class AuthSendTransport(Transport):
         self._accepted = []
         expected_round = ctx.info.round - self.delay
         expected_unit = self.keystore.unit
-        for claimed_src, raw in self.disperse.receipts(self.tag):
-            msg = ver_cert(
-                self.keystore.scheme,
-                self.public,
-                receiver=ctx.node_id,
-                alleged_source=claimed_src,
-                expected_unit=expected_unit,
-                expected_round=expected_round,
-                raw=raw,
-            )
+        receipts = self.disperse.receipts(self.tag)
+        if not receipts:
+            return
+        # batched VER-CERT: one round's receipts resolve their signature
+        # checks together (cache + random-linear-combination batch); the
+        # accept/reject outcome per receipt is identical to sequential
+        # ver_cert — see repro.core.certify.ver_cert_many.
+        for msg in ver_cert_many(
+            self.keystore.scheme,
+            self.public,
+            receiver=ctx.node_id,
+            expected_unit=expected_unit,
+            expected_round=expected_round,
+            items=receipts,
+        ):
             if msg is None:
                 self.rejected_count += 1
                 continue
@@ -112,7 +117,9 @@ class AuthSendTransport(Transport):
         if msg is None:
             return
         self.sent_count += 1
-        self.disperse.send(ctx, receiver, tuple(msg), tag=self.tag)
+        wire = tuple(msg)
+        prime_parsed(wire, msg)  # receivers parse the same object we flood
+        self.disperse.send(ctx, receiver, wire, tag=self.tag)
 
     def accepted(self) -> list[Accepted]:
         return list(self._accepted)

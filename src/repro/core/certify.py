@@ -16,15 +16,30 @@ A message passing all three is *properly certified* (Definition 17(a)).
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Sequence
 
 from repro.crypto.hashing import encode_for_hash
+from repro.crypto.schnorr import SchnorrScheme, SchnorrVerifyKey, scheme_for_group
 from repro.crypto.signature import SignatureError, SignatureScheme
 from repro.core.keystore import LocalKeys, certificate_assertion
 from repro.pds.keys import PdsPublic
-from repro.pds.threshold_schnorr import pds_message_bytes, verify_pds_signature
+from repro.pds.threshold_schnorr import pds_message_bytes, verify_pds_signature_bytes
+from repro.perf.cache import (
+    CanonicalKeyCache,
+    cached_verify,
+    lookup_verify,
+    store_verify,
+)
+from repro.perf.config import perf_config, register_cache_clearer
 
-__all__ = ["CertifiedMessage", "certify", "ver_cert", "verify_certified_body"]
+__all__ = [
+    "CertifiedMessage",
+    "certify",
+    "prime_parsed",
+    "ver_cert",
+    "ver_cert_many",
+    "verify_certified_body",
+]
 
 
 class CertifiedMessage(tuple):
@@ -70,6 +85,39 @@ def _signed_bytes(message: Any, source: int, destination: int, unit: int, round_
     return encode_for_hash(("auth-msg", message, source, destination, unit, round_w))
 
 
+# DISPERSE floods hand the *same* certified tuple object to every relay
+# and receiver, and PARTIAL-AGREEMENT re-disperses raw tuples wholesale —
+# so the parse, the signed-body encoding and the certificate-assertion
+# encoding of one message are recomputed many times per round.  All three
+# are memoized by tuple identity (exact: same object, same result).  The
+# parse memo is what makes the downstream memos effective: it hands every
+# caller of the same raw tuple the same CertifiedMessage object.
+_PARSE_MEMO = CanonicalKeyCache(maxsize=8192)
+register_cache_clearer(_PARSE_MEMO.clear)
+
+_SIGNED_BYTES_MEMO = CanonicalKeyCache(maxsize=8192)
+register_cache_clearer(_SIGNED_BYTES_MEMO.clear)
+
+_CERT_BYTES_MEMO = CanonicalKeyCache(maxsize=8192)
+register_cache_clearer(_CERT_BYTES_MEMO.clear)
+
+
+def _compute_signed_bytes(msg: "CertifiedMessage") -> bytes:
+    return _signed_bytes(msg.message, msg.source, msg.destination, msg.unit, msg.round)
+
+
+def _signed_bytes_for(msg: "CertifiedMessage") -> bytes:
+    """Signed-body bytes of a parsed certified message (memoized).
+
+    Raises ``TypeError`` for unencodable message payloads, exactly like
+    :func:`_signed_bytes`; failures are not cached.
+    """
+    cfg = perf_config()
+    if not (cfg.enabled and cfg.canonical_cache):
+        return _compute_signed_bytes(msg)
+    return _SIGNED_BYTES_MEMO.get(msg, _compute_signed_bytes)
+
+
 def certify(
     scheme: SignatureScheme,
     keys: LocalKeys,
@@ -84,13 +132,11 @@ def certify(
     if not keys.usable:
         return None
     try:
-        signature = scheme.sign(
-            keys.keypair.signing_key,
-            _signed_bytes(message, source, destination, keys.unit, round_w),
-        )
+        body = _signed_bytes(message, source, destination, keys.unit, round_w)
+        signature = scheme.sign(keys.keypair.signing_key, body)
     except SignatureError:
         return None  # e.g. one-time keys exhausted
-    return CertifiedMessage(
+    msg = CertifiedMessage(
         (
             message,
             source,
@@ -102,6 +148,71 @@ def certify(
             keys.certificate,
         )
     )
+    cfg = perf_config()
+    if cfg.enabled and cfg.canonical_cache:
+        # the sender already paid for the signed-body encoding; seed the
+        # memo so no verifier of this object ever recomputes it
+        _SIGNED_BYTES_MEMO.put(msg, body)
+    return msg
+
+
+def prime_parsed(wire: tuple, msg: CertifiedMessage) -> None:
+    """Seed the parse memo: ``wire`` is the plain tuple about to be
+    flooded, ``msg`` its already-parsed certified form.  Sound because a
+    ``CertifiedMessage`` *is* its tuple — parsing ``wire`` from scratch
+    would reproduce ``msg`` element for element."""
+    cfg = perf_config()
+    if cfg.enabled and cfg.canonical_cache:
+        _PARSE_MEMO.put(wire, msg)
+
+
+#: (source, unit, key_repr) -> assertion bytes.  Only ~n*units distinct
+#: assertions ever exist per execution, but every signed message carries
+#: one — a content-keyed table collapses the re-encoding.  Bounded by
+#: wholesale clearing (entries are tiny; the bound is a leak guard).
+_ASSERTION_BYTES: dict[Any, bytes] = {}
+register_cache_clearer(_ASSERTION_BYTES.clear)
+_MAX_ASSERTION_BYTES = 4096
+
+
+def _compute_cert_bytes(scheme: SignatureScheme, msg: CertifiedMessage) -> bytes:
+    key_repr = scheme.key_repr(msg.verify_key)
+    cfg = perf_config()
+    if not (cfg.enabled and cfg.canonical_cache):
+        assertion = certificate_assertion(msg.source, msg.unit, key_repr)
+        return pds_message_bytes(assertion, msg.unit)
+    try:
+        table_key = (msg.source, msg.unit, key_repr)
+        cached = _ASSERTION_BYTES.get(table_key)
+    except TypeError:  # unhashable key_repr: compute without caching
+        assertion = certificate_assertion(msg.source, msg.unit, key_repr)
+        return pds_message_bytes(assertion, msg.unit)
+    if cached is None:
+        assertion = certificate_assertion(msg.source, msg.unit, key_repr)
+        cached = pds_message_bytes(assertion, msg.unit)
+        if len(_ASSERTION_BYTES) >= _MAX_ASSERTION_BYTES:
+            _ASSERTION_BYTES.clear()
+        _ASSERTION_BYTES[table_key] = cached
+    return cached
+
+
+def _cert_bytes_for(scheme: SignatureScheme, msg: CertifiedMessage) -> bytes:
+    """Canonical bytes of the certificate assertion the PDS must have
+    signed for ``msg`` — a pure function of the message's own fields
+    (source, unit, attached key), memoized by message identity.
+
+    Raises ``TypeError`` for foreign key objects, like
+    ``scheme.key_repr``; failures are not cached.
+    """
+    cfg = perf_config()
+    if not (cfg.enabled and cfg.canonical_cache):
+        return _compute_cert_bytes(scheme, msg)
+    entry = _CERT_BYTES_MEMO.get(
+        msg, lambda m: (scheme, _compute_cert_bytes(scheme, m))
+    )
+    if entry[0] is scheme:
+        return entry[1]
+    return _compute_cert_bytes(scheme, msg)
 
 
 def _check_certificate(
@@ -109,11 +220,10 @@ def _check_certificate(
 ) -> bool:
     """Step 2 of VER-CERT: the attached key is certified for (i, u)."""
     try:
-        key_repr = scheme.key_repr(msg.verify_key)
+        cert_bytes = _cert_bytes_for(scheme, msg)
     except TypeError:
         return False
-    assertion = certificate_assertion(msg.source, msg.unit, key_repr)
-    return verify_pds_signature(public, assertion, msg.unit, msg.certificate)
+    return verify_pds_signature_bytes(public, cert_bytes, msg.certificate)
 
 
 def ver_cert(
@@ -139,10 +249,10 @@ def ver_cert(
         return None
     # step 3: message signature
     try:
-        body = _signed_bytes(msg.message, msg.source, msg.destination, msg.unit, msg.round)
+        body = _signed_bytes_for(msg)
     except TypeError:
         return None
-    if not scheme.verify(msg.verify_key, body, msg.signature):
+    if not cached_verify(scheme, msg.verify_key, body, msg.signature):
         return None
     return msg
 
@@ -169,12 +279,112 @@ def verify_certified_body(
     if not _check_certificate(scheme, public, msg):
         return None
     try:
-        body = _signed_bytes(msg.message, msg.source, msg.destination, msg.unit, msg.round)
+        body = _signed_bytes_for(msg)
     except TypeError:
         return None
-    if not scheme.verify(msg.verify_key, body, msg.signature):
+    if not cached_verify(scheme, msg.verify_key, body, msg.signature):
         return None
     return msg
+
+
+def ver_cert_many(
+    scheme: SignatureScheme,
+    public: PdsPublic,
+    receiver: int,
+    expected_unit: int,
+    expected_round: int,
+    items: Sequence[tuple[int, Any]],
+) -> list[CertifiedMessage | None]:
+    """VER-CERT over one round's worth of receipts, batched.
+
+    ``items`` are ``(alleged_source, raw)`` pairs as produced by
+    DISPERSE; the result list is index-aligned (``None`` = rejected), so
+    acceptance order — and with it the transcript — is exactly that of
+    running :func:`ver_cert` sequentially.
+
+    The speedup comes from resolving all signature checks of the round
+    together: format/time checks run first (free), then every remaining
+    certificate and message-signature check is answered from the
+    verification cache or folded into one random-linear-combination
+    batch per group (certificates all verify under the single PDS key
+    ``v_cert``, so a flood of them costs one ``v_cert`` exponentiation).
+    A failing batch falls back to individual verification, so rejected
+    messages are attributed identically to the sequential path.
+    """
+    results: list[CertifiedMessage | None] = [None] * len(items)
+    candidates: list[tuple[int, CertifiedMessage, int, int]] = []
+    checks: list[tuple[SignatureScheme, Any, bytes, Any]] = []
+    pds_scheme = scheme_for_group(public.group)
+    pds_key = SchnorrVerifyKey(y=public.public_key)
+    for index, (alleged_source, raw) in enumerate(items):
+        msg = _parse(raw)
+        if msg is None:
+            continue
+        # step 1: format and time
+        if msg.source != alleged_source or msg.destination != receiver:
+            continue
+        if msg.unit != expected_unit or msg.round != expected_round:
+            continue
+        try:
+            cert_bytes = _cert_bytes_for(scheme, msg)
+            body = _signed_bytes_for(msg)
+        except TypeError:
+            continue
+        cert_check = len(checks)
+        checks.append((pds_scheme, pds_key, cert_bytes, msg.certificate))
+        body_check = len(checks)
+        checks.append((scheme, msg.verify_key, body, msg.signature))
+        candidates.append((index, msg, cert_check, body_check))
+    outcomes = _resolve_checks(checks)
+    for index, msg, cert_check, body_check in candidates:
+        # steps 2 + 3: certificate, then message signature
+        if outcomes[cert_check] and outcomes[body_check]:
+            results[index] = msg
+    return results
+
+
+def _resolve_checks(
+    checks: Sequence[tuple[SignatureScheme, Any, bytes, Any]]
+) -> list[bool]:
+    """Answer a round's signature checks: cache first, then one batch per
+    Schnorr group, individual (cached) verification for everything else
+    and for the members of a failing batch."""
+    outcomes: list[bool | None] = [None] * len(checks)
+    cache_keys: list[Any] = [None] * len(checks)
+    batchable: dict[Any, list[int]] = {}
+    singles: list[int] = []
+    cfg = perf_config()
+    for index, (check_scheme, verify_key, message, signature) in enumerate(checks):
+        bucket_key, cached = lookup_verify(check_scheme, verify_key, message, signature)
+        if cached is not None:
+            outcomes[index] = cached
+            continue
+        cache_keys[index] = bucket_key
+        if (
+            cfg.enabled
+            and cfg.batch_verify
+            and isinstance(check_scheme, SchnorrScheme)
+        ):
+            batchable.setdefault(check_scheme.group, []).append(index)
+        else:
+            singles.append(index)
+    for group, indices in batchable.items():
+        if len(indices) < 2:
+            singles.extend(indices)
+            continue
+        batch_scheme = checks[indices[0]][0]
+        batch = [(checks[i][1], checks[i][2], checks[i][3]) for i in indices]
+        if batch_scheme.batch_verify(batch):
+            for i in indices:
+                outcomes[i] = True
+                store_verify(cache_keys[i], checks[i][2], checks[i][3], True)
+        else:
+            # at least one member is bad: attribute blame individually
+            singles.extend(indices)
+    for i in singles:
+        check_scheme, verify_key, message, signature = checks[i]
+        outcomes[i] = cached_verify(check_scheme, verify_key, message, signature)
+    return [bool(outcome) for outcome in outcomes]
 
 
 def _parse(raw: Any) -> CertifiedMessage | None:
@@ -183,5 +393,10 @@ def _parse(raw: Any) -> CertifiedMessage | None:
     if isinstance(raw, tuple) and len(raw) == 8:
         if isinstance(raw[1], int) and isinstance(raw[2], int) \
                 and isinstance(raw[3], int) and isinstance(raw[4], int):
+            cfg = perf_config()
+            if cfg.enabled and cfg.canonical_cache:
+                # one flooded tuple object → one CertifiedMessage object,
+                # so the per-message memos above hit on every re-receipt
+                return _PARSE_MEMO.get(raw, CertifiedMessage)
             return CertifiedMessage(raw)
     return None

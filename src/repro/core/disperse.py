@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Hashable
 
-from repro.crypto.hashing import encode_for_hash
+from repro.perf.cache import canonical_body_key
 from repro.sim.messages import Envelope
 from repro.sim.node import NodeContext
 
@@ -35,11 +35,14 @@ DISPERSE_CHANNEL = "disperse"
 
 
 def _body_key(body: Any) -> Hashable:
-    """Dedup key for possibly-unhashable bodies."""
-    try:
-        return encode_for_hash(body)
-    except TypeError:
-        return repr(body)
+    """Dedup key for possibly-unhashable bodies.
+
+    One flood shares a single body object across every relay and
+    receiver, and each of them keys relay/receipt dedup on its canonical
+    encoding — so the encoding is memoized by object identity in the
+    perf layer (the key bytes are unchanged; only the re-encoding cost
+    goes away)."""
+    return canonical_body_key(body)
 
 
 class DisperseService:

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.crypto.signature import KeyPair, SignatureScheme
+from repro.perf.cache import invalidate_verify_key
 
 __all__ = ["LocalKeys", "KeyStore", "certificate_assertion"]
 
@@ -79,7 +80,15 @@ class KeyStore:
         paper sets ``s = v = cert = φ`` (the caller must alert).  The
         previous unit's signing key is dropped either way (erasure, §6).
         Returns True on success.
+
+        The superseded verification key's bucket in the global
+        verification cache is dropped alongside (hygiene, not safety: a
+        stale entry could never be consulted for the new unit anyway
+        because VER-CERT pins the expected unit before any signature
+        check, and fresh keys never repeat).
         """
+        if self.current.keypair is not None:
+            invalidate_verify_key(self.scheme, self.current.keypair.verify_key)
         if self.pending is None:
             self.current = LocalKeys(unit=self.current.unit + 1)
             self.history.append((self.current.unit, "failed"))

@@ -30,9 +30,9 @@ from dataclasses import dataclass, field
 from typing import Any, Hashable
 
 from repro.core.auth_send import AuthSendTransport
-from repro.core.certify import verify_certified_body
+from repro.core.certify import prime_parsed, verify_certified_body
 from repro.core.disperse import DisperseService
-from repro.crypto.hashing import encode_for_hash
+from repro.perf.cache import canonical_body_key
 from repro.sim.node import NodeContext
 
 __all__ = ["PartialAgreementService", "NO_VALUE"]
@@ -44,10 +44,10 @@ _PA3_TAG = "pa3"
 
 
 def _value_key(value: Any) -> Hashable:
-    try:
-        return encode_for_hash(value)
-    except TypeError:
-        return repr(value)
+    # same key DISPERSE uses for dedup: canonical encoding with a repr
+    # fallback, memoized by object identity in the perf layer (values and
+    # re-dispersed raw tuples are shared by reference across nodes)
+    return canonical_body_key(value)
 
 
 @dataclass
@@ -140,7 +140,9 @@ class PartialAgreementService:
                     start_round=ctx.info.round - 2, my_input=NO_VALUE
                 )
                 self.sessions[pa_id] = session
-            self._record(session, accepted.sender, value, tuple(accepted.raw))
+            raw = tuple(accepted.raw)
+            prime_parsed(raw, accepted.raw)  # step-3 receivers re-parse this
+            self._record(session, accepted.sender, value, raw)
 
     def _ingest_step3(self, ctx: NodeContext) -> None:
         for _claimed_src, raw in self.disperse.receipts(_PA3_TAG):

@@ -15,13 +15,22 @@ generated with :meth:`SchnorrGroup.generate`.
 from __future__ import annotations
 
 import random
+import weakref
 from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.crypto.field import PrimeField
 from repro.crypto.numbers import is_probable_prime, mod_inverse, random_safe_prime
+from repro.perf.config import perf_config, register_cache_clearer
+from repro.perf.fixed_base import FixedBaseWindow
 
 __all__ = ["GroupParams", "SchnorrGroup", "named_group", "NAMED_GROUP_NAMES"]
+
+#: bound on per-group fixed-base windows kept for registered bases
+_MAX_BASE_WINDOWS = 16
+
+#: bound on per-group memoized membership checks
+_MAX_MEMBER_CACHE = 8192
 
 
 @dataclass(frozen=True)
@@ -66,6 +75,20 @@ _NAMED_PARAMS: dict[str, GroupParams] = {
 
 NAMED_GROUP_NAMES = tuple(sorted(_NAMED_PARAMS))
 
+# live groups (keyed by id: equality-deduping would hide duplicate
+# instances), so clear_all_caches() can drop their precomputed windows
+_GROUP_REGISTRY: "weakref.WeakValueDictionary[int, SchnorrGroup]" = (
+    weakref.WeakValueDictionary()
+)
+
+
+@register_cache_clearer
+def _clear_group_caches() -> None:
+    for group in list(_GROUP_REGISTRY.values()):
+        group._g_window = None
+        group._base_windows.clear()
+        group._member_cache.clear()
+
 
 class SchnorrGroup:
     """The order-``q`` subgroup of ``Z_p*`` for a safe prime ``p = 2q + 1``.
@@ -90,6 +113,13 @@ class SchnorrGroup:
         self.q = params.q
         self.g = params.g
         self.scalar_field = PrimeField(params.q)
+        # fixed-base precomputation (repro.perf): a window for g, built
+        # lazily, plus a small pool of windows for registered long-lived
+        # bases (e.g. the PDS key v_cert used by every VER-CERT)
+        self._g_window: FixedBaseWindow | None = None
+        self._base_windows: dict[int, FixedBaseWindow] = {}
+        self._member_cache: dict[int, bool] = {}
+        _GROUP_REGISTRY[id(self)] = self
 
     # -- construction ---------------------------------------------------
 
@@ -115,8 +145,41 @@ class SchnorrGroup:
         return pow(base, exponent % self.q, self.p)
 
     def base_power(self, exponent: int) -> int:
-        """``g ** exponent mod p``."""
+        """``g ** exponent mod p`` (through the fixed-base window when the
+        perf layer is on and the modulus is large enough to profit)."""
+        if self._windows_enabled():
+            window = self._g_window
+            if window is None:
+                window = self._g_window = FixedBaseWindow(self.g, self.p, self.q)
+            return window.pow(exponent)
         return pow(self.g, exponent % self.q, self.p)
+
+    def fixed_power(self, base: int, exponent: int) -> int:
+        """``base ** exponent mod p`` for a *long-lived* base.
+
+        Builds (and keeps) a fixed-base window for ``base`` when the perf
+        layer is on — meant for bases that are exponentiated many times
+        over their lifetime, such as the PDS verification key ``v_cert``
+        checked by every VER-CERT, or a unit's certified local keys.
+        Falls back to :meth:`power` for small groups or when disabled.
+        The window pool is bounded; eviction is FIFO.
+        """
+        if not self._windows_enabled():
+            return pow(base, exponent % self.q, self.p)
+        window = self._base_windows.get(base)
+        if window is None:
+            while len(self._base_windows) >= _MAX_BASE_WINDOWS:
+                self._base_windows.pop(next(iter(self._base_windows)))
+            window = self._base_windows[base] = FixedBaseWindow(base, self.p, self.q)
+        return window.pow(exponent)
+
+    def _windows_enabled(self) -> bool:
+        cfg = perf_config()
+        return (
+            cfg.enabled
+            and cfg.fixed_base
+            and self.p.bit_length() >= cfg.fixed_base_min_bits
+        )
 
     def multiply(self, a: int, b: int) -> int:
         return (a * b) % self.p
@@ -128,8 +191,20 @@ class SchnorrGroup:
         return (a * self.invert(b)) % self.p
 
     def is_member(self, a: int) -> bool:
-        """Check membership of the order-``q`` subgroup."""
-        return 0 < a < self.p and pow(a, self.q, self.p) == 1
+        """Check membership of the order-``q`` subgroup.
+
+        A pure predicate of the element, so outcomes are memoized when
+        the perf layer is on — the same keys, commitments and signature
+        components are membership-checked over and over."""
+        if not perf_config().enabled:
+            return 0 < a < self.p and pow(a, self.q, self.p) == 1
+        cached = self._member_cache.get(a)
+        if cached is None:
+            cached = 0 < a < self.p and pow(a, self.q, self.p) == 1
+            if len(self._member_cache) >= _MAX_MEMBER_CACHE:
+                self._member_cache.clear()
+            self._member_cache[a] = cached
+        return cached
 
     def random_scalar(self, rng: random.Random) -> int:
         """Uniform nonzero scalar (suitable as a secret key or nonce)."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import hmac
+from functools import lru_cache
 from typing import Iterable
 
 __all__ = [
@@ -30,6 +31,13 @@ def sha256(data: bytes) -> bytes:
     return hashlib.sha256(data).digest()
 
 
+@lru_cache(maxsize=256)
+def _tag_digest(tag: str) -> bytes:
+    # the protocol uses a small fixed set of domain tags; hashing each
+    # once is pure and saves a SHA-256 per tagged_hash call
+    return sha256(tag.encode("utf-8"))
+
+
 def tagged_hash(tag: str, *chunks: bytes) -> bytes:
     """Domain-separated hash: ``H(H(tag) || H(tag) || chunk_0 || ...)``.
 
@@ -37,7 +45,7 @@ def tagged_hash(tag: str, *chunks: bytes) -> bytes:
     cross-domain collisions require breaking SHA-256 itself.  Each chunk is
     length-prefixed so concatenation is unambiguous.
     """
-    tag_digest = sha256(tag.encode("utf-8"))
+    tag_digest = _tag_digest(tag)
     h = hashlib.sha256()
     h.update(tag_digest)
     h.update(tag_digest)
@@ -54,6 +62,26 @@ def encode_for_hash(value: object) -> bytes:
     tuples/lists of those.  Every encoding is self-delimiting, so distinct
     structures never encode to the same byte string.
     """
+    # exact-type dispatch first — ints and tuples dominate protocol
+    # traffic, and ``type(x) is int`` safely excludes bool.  Subclasses
+    # (IntEnum, CertifiedMessage, ...) fall through to the isinstance
+    # chain below; both paths produce identical bytes.
+    kind = type(value)
+    if kind is int:
+        raw = value.to_bytes((value.bit_length() + 8) // 8 + 1, "big", signed=True)
+        return b"I" + len(raw).to_bytes(8, "big") + raw
+    if kind is tuple or kind is list:
+        parts = [encode_for_hash(item) for item in value]
+        return b"L" + len(parts).to_bytes(8, "big") + b"".join(parts)
+    if kind is str:
+        raw = value.encode("utf-8")
+        return b"S" + len(raw).to_bytes(8, "big") + raw
+    if kind is bytes:
+        return b"B" + len(value).to_bytes(8, "big") + value
+    if kind is bool:
+        return b"T" if value else b"F"
+    if value is None:
+        return b"N"
     if isinstance(value, bytes):
         return b"B" + len(value).to_bytes(8, "big") + value
     if isinstance(value, str):

@@ -48,9 +48,15 @@ from typing import Any
 
 from repro.crypto.feldman import FeldmanCommitment, FeldmanDealer
 from repro.crypto.hashing import encode_for_hash, tagged_hash
-from repro.crypto.schnorr import SchnorrScheme, SchnorrSignature, SchnorrVerifyKey
+from repro.crypto.schnorr import (
+    SchnorrScheme,
+    SchnorrSignature,
+    SchnorrVerifyKey,
+    scheme_for_group,
+)
 from repro.pds.keys import PdsNodeState
 from repro.pds.transport import Transport
+from repro.perf.cache import cached_verify
 from repro.sim.node import NodeContext
 
 __all__ = ["ThresholdSigner", "pds_message_bytes", "verify_pds_signature"]
@@ -68,10 +74,17 @@ def pds_message_bytes(message: Any, unit: int) -> bytes:
 def verify_pds_signature(public, message: Any, unit: int, signature: Any) -> bool:
     """The scheme's ``Ver`` algorithm: plain centralized Schnorr
     verification under the unchanging public key (usable by anyone,
-    including the paper's unbreakable verifier ``V``)."""
-    scheme = SchnorrScheme(public.group)
-    return scheme.verify(
-        SchnorrVerifyKey(y=public.public_key), pds_message_bytes(message, unit), signature
+    including the paper's unbreakable verifier ``V``).
+
+    Served through the verification cache (:mod:`repro.perf`): the same
+    certificate is checked by every node that receives it, and ``v_cert``
+    never changes, so after the first full verification the rest of the
+    network answers from the cache."""
+    return cached_verify(
+        scheme_for_group(public.group),
+        SchnorrVerifyKey(y=public.public_key),
+        pds_message_bytes(message, unit),
+        signature,
     )
 
 
@@ -119,7 +132,7 @@ class ThresholdSigner:
     def __init__(self, state: PdsNodeState, transport: Transport) -> None:
         self.state = state
         self.transport = transport
-        self.scheme = SchnorrScheme(state.public.group)
+        self.scheme = scheme_for_group(state.public.group)
         self.sessions: dict[str, _Session] = {}
         self._completed: list[tuple[bytes, SchnorrSignature]] = []
         self._failed: list[bytes] = []
@@ -435,8 +448,12 @@ class ThresholdSigner:
 
 def verify_pds_signature_bytes(public, message_bytes: bytes, signature: Any) -> bool:
     """``Ver`` on pre-canonicalized bytes (internal fast path)."""
-    scheme = SchnorrScheme(public.group)
-    return scheme.verify(SchnorrVerifyKey(y=public.public_key), message_bytes, signature)
+    return cached_verify(
+        scheme_for_group(public.group),
+        SchnorrVerifyKey(y=public.public_key),
+        message_bytes,
+        signature,
+    )
 
 
 def _share_at(x: int, value: int):

@@ -1,0 +1,54 @@
+"""The performance layer: caches, precomputation and batching.
+
+Everything in this package is *transcript-neutral*: turning any flag on
+or off changes wall-clock time, never protocol behaviour.  The E14
+benchmark (``benchmarks/bench_e14_perf.py``) measures the layer against
+the unoptimized baseline and asserts bit-identical transcripts both ways;
+``docs/PROTOCOLS.md`` §12 states the security argument for each piece.
+
+Components:
+
+* :mod:`repro.perf.config` — process-global feature switches
+  (``REPRO_PERF=0`` disables the whole layer);
+* :mod:`repro.perf.cache` — the signature-verification cache and the
+  identity-keyed canonical-encoding cache;
+* :mod:`repro.perf.fixed_base` — fixed-base exponentiation windows used
+  by :class:`repro.crypto.group.SchnorrGroup` for ``g`` and long-lived
+  keys such as ``v_cert``.
+
+Batch Schnorr verification lives with the scheme itself
+(:meth:`repro.crypto.schnorr.SchnorrScheme.batch_verify`); the batched
+VER-CERT entry point is :func:`repro.core.certify.ver_cert_many`.
+"""
+
+from repro.perf.cache import (
+    CanonicalKeyCache,
+    VerificationCache,
+    cached_verify,
+    canonical_body_key,
+    invalidate_verify_key,
+    verification_cache,
+)
+from repro.perf.config import (
+    PerfConfig,
+    clear_all_caches,
+    configure,
+    perf_config,
+    register_cache_clearer,
+)
+from repro.perf.fixed_base import FixedBaseWindow
+
+__all__ = [
+    "PerfConfig",
+    "perf_config",
+    "configure",
+    "register_cache_clearer",
+    "clear_all_caches",
+    "VerificationCache",
+    "verification_cache",
+    "cached_verify",
+    "invalidate_verify_key",
+    "CanonicalKeyCache",
+    "canonical_body_key",
+    "FixedBaseWindow",
+]

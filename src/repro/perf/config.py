@@ -1,0 +1,90 @@
+"""Global configuration of the performance layer.
+
+Every optimization in :mod:`repro.perf` is *semantics-preserving*: with a
+flag on or off, every protocol produces bit-identical transcripts (the
+caches memoize pure functions under exact keys; fixed-base windows compute
+the same group element; batch verification falls back to individual
+verification whenever a batch fails).  The switches exist so that
+
+* the E14 benchmark can measure the optimized layer against the
+  unoptimized baseline in the same process, and
+* a debugging session can rule the caches out with ``REPRO_PERF=0``.
+
+The configuration is process-global (the simulator is single-threaded);
+worker processes of the parallel benchmark harness each carry their own.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "PerfConfig",
+    "perf_config",
+    "configure",
+    "register_cache_clearer",
+    "clear_all_caches",
+]
+
+
+@dataclass
+class PerfConfig:
+    """Feature switches of the performance layer.
+
+    ``enabled`` is the master switch: when False every other flag reads as
+    off.  ``fixed_base_min_bits`` gates the fixed-base windows — below
+    that modulus size CPython's C ``pow`` beats any Python-level window
+    walk, so the windows only engage for realistically-sized groups.
+    """
+
+    enabled: bool = True
+    verify_cache: bool = True
+    canonical_cache: bool = True
+    challenge_cache: bool = True
+    fixed_base: bool = True
+    batch_verify: bool = True
+    fixed_base_min_bits: int = 192
+
+    def flag(self, name: str) -> bool:
+        return self.enabled and bool(getattr(self, name))
+
+
+_CONFIG = PerfConfig(enabled=os.environ.get("REPRO_PERF", "1") != "0")
+
+_CLEARERS: list[Callable[[], None]] = []
+
+
+def perf_config() -> PerfConfig:
+    """The process-global performance configuration."""
+    return _CONFIG
+
+
+def register_cache_clearer(fn: Callable[[], None]) -> Callable[[], None]:
+    """Register a callable that drops one cache's entries; returns it so
+    the call can be used as a decorator."""
+    _CLEARERS.append(fn)
+    return fn
+
+
+def clear_all_caches() -> None:
+    """Empty every registered cache (verification, canonical keys,
+    challenges, fixed-base windows).  Never changes results — only makes
+    the next operations cold."""
+    for fn in _CLEARERS:
+        fn()
+
+
+def configure(enabled: bool | None = None, **flags: bool | int) -> PerfConfig:
+    """Flip performance flags at runtime; clears all caches so that a
+    newly disabled flag leaves no warm state behind (and a benchmark's
+    "off" measurement is genuinely cold)."""
+    if enabled is not None:
+        _CONFIG.enabled = bool(enabled)
+    for name, value in flags.items():
+        if not hasattr(_CONFIG, name):
+            raise AttributeError(f"unknown perf flag {name!r}")
+        setattr(_CONFIG, name, value)
+    clear_all_caches()
+    return _CONFIG

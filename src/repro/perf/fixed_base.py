@@ -1,0 +1,84 @@
+"""Fixed-base exponentiation windows.
+
+A :class:`FixedBaseWindow` precomputes ``base^(d · 2^(w·i)) mod p`` for
+every window position ``i`` and digit ``d < 2^w``, turning each later
+exponentiation into ``⌈bits/w⌉`` table lookups and modular products —
+the classic fixed-base windowing method (Brickell et al.; HAC 14.109).
+
+For a ``b``-bit order this replaces ``~1.5·b`` modular products inside
+``pow`` with ``~b/w`` Python-level products, which wins once the modulus
+is large enough that bigint multiplication dominates interpreter
+overhead.  :mod:`repro.crypto.group` therefore only engages windows above
+``PerfConfig.fixed_base_min_bits`` (CPython's C ``pow`` is unbeatable for
+toy 64-bit groups).
+
+The computed value is exactly ``pow(base, exponent % order, modulus)`` —
+the window is a speedup, never a semantic change.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FixedBaseWindow"]
+
+
+class FixedBaseWindow:
+    """Precomputed powers of one fixed base modulo ``modulus``.
+
+    Args:
+        base: the fixed base (reduced mod ``modulus``).
+        modulus: the group modulus ``p``.
+        order: the exponent order ``q`` (exponents are reduced mod ``q``).
+        window: window width ``w`` in bits (default 5: a good trade-off
+            between table size ``⌈bits/w⌉·2^w`` and per-exponentiation
+            work ``⌈bits/w⌉`` products).
+    """
+
+    __slots__ = ("base", "modulus", "order", "window", "_table", "_mask")
+
+    def __init__(self, base: int, modulus: int, order: int, window: int = 5) -> None:
+        if window < 1:
+            raise ValueError("window must be positive")
+        if modulus < 2 or order < 1:
+            raise ValueError("modulus and order must be positive")
+        base %= modulus
+        self.base = base
+        self.modulus = modulus
+        self.order = order
+        self.window = window
+        self._mask = (1 << window) - 1
+        radix = 1 << window
+        digits = (order.bit_length() + window - 1) // window
+        table: list[list[int]] = []
+        g_i = base  # base^(radix^i), advanced per row
+        for _ in range(digits):
+            row = [1] * radix
+            acc = 1
+            for d in range(1, radix):
+                acc = acc * g_i % modulus
+                row[d] = acc
+            table.append(row)
+            g_i = row[radix - 1] * g_i % modulus
+        self._table = table
+
+    def pow(self, exponent: int) -> int:
+        """``base ** exponent mod modulus`` (exponent reduced mod order)."""
+        e = exponent % self.order
+        acc = 1
+        modulus = self.modulus
+        mask = self._mask
+        window = self.window
+        i = 0
+        table = self._table
+        while e:
+            digit = e & mask
+            if digit:
+                acc = acc * table[i][digit] % modulus
+            e >>= window
+            i += 1
+        return acc
+
+    def __repr__(self) -> str:
+        return (
+            f"FixedBaseWindow(bits={self.modulus.bit_length()}, "
+            f"window={self.window}, rows={len(self._table)})"
+        )

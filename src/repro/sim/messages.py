@@ -29,6 +29,22 @@ class Envelope:
     payload: Any
     round_sent: int
 
+    def __hash__(self) -> int:
+        # The runner's linear-time link accounting (Definition 4) puts
+        # every envelope in a Counter twice per round; payloads are deep
+        # tuples, so the hash is memoized on first use.  Raises TypeError
+        # for unhashable payloads, like the generated hash would — the
+        # runner falls back to multiset comparison then.  (Defining
+        # __hash__ explicitly keeps @dataclass from generating one; the
+        # memo slot lives in __dict__, which frozen instances may touch.)
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(
+                (self.sender, self.receiver, self.channel, self.payload, self.round_sent)
+            )
+            self.__dict__["_hash"] = cached
+        return cached
+
     def redirect(self, receiver: int) -> "Envelope":
         """Copy of this envelope addressed to a different node (used by
         adversaries that duplicate or misroute traffic)."""

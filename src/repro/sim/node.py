@@ -129,6 +129,10 @@ class Node:
         self.external_inputs: list[Any] = []
         program.bind(node_id, n)
 
-    def record_outputs(self, round_number: int, entries: list[Any]) -> None:
-        for entry in entries:
-            self.outputs.append((round_number, entry))
+    def record_outputs(self, round_number: int, entries: list[Any]) -> list[tuple[int, Any]]:
+        """Stamp ``entries`` with the round and append them; returns the
+        stamped batch so the runner can mirror it into the execution's
+        per-node output log without re-stamping."""
+        stamped = [(round_number, entry) for entry in entries]
+        self.outputs.extend(stamped)
+        return stamped

@@ -25,6 +25,7 @@ frozen when it ends.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Any, Callable
 
 from repro.sim.adversary_api import Adversary, AdversaryApi, faithful_delivery
@@ -139,38 +140,39 @@ class Runner:
             )
             node.program.step(ctx, inbox)
             traffic.extend(ctx.outbox)
-            node.record_outputs(info.round, ctx.outputs)
-            self.execution.node_outputs[node.node_id].extend(
-                (info.round, entry) for entry in ctx.outputs
-            )
+            if ctx.outputs:
+                stamped = node.record_outputs(info.round, ctx.outputs)
+                self.execution.node_outputs[node.node_id].extend(stamped)
 
         # 2-3. adversary interaction + delivery
         if info.phase is Phase.SETUP:
-            plan = faithful_delivery(tuple(traffic), self.n)
+            sent = tuple(traffic)
+            plan = faithful_delivery(sent, self.n)
             broken = frozenset()
             if info.is_phase_end:
                 for node in self.nodes:
                     node.rom.freeze()
         else:
             api = AdversaryApi(self.nodes, info, self.randomness.stream("api", info.round))
-            self.adversary.on_round(api, info, tuple(traffic))
-            traffic.extend(api.injected)
+            observed = tuple(traffic)  # rushing: the pre-injection view
+            self.adversary.on_round(api, info, observed)
             self.execution.adversary_output.extend(api.output_entries)
             broken = frozenset(i for i, node in enumerate(self.nodes) if node.broken)
-            plan = self._resolve_delivery(api, info, tuple(traffic))
+            sent = observed + tuple(api.injected) if api.injected else observed
+            plan = self._resolve_delivery(api, info, sent)
 
         self._sanitize_plan(plan)
         for node in self.nodes:
             node.pending_inbox = plan.get(node.node_id, [])
 
         # 4. accounting
-        unreliable = self._unreliable_links(tuple(traffic), plan, broken)
+        unreliable = self._unreliable_links(sent, plan, broken)
         operational = self._operational_set(info, broken, unreliable)
         self._log_status_changes(info, broken, operational)
         self.execution.records.append(
             RoundRecord(
                 info=info,
-                sent=tuple(traffic),
+                sent=sent,
                 delivered={i: tuple(plan.get(i, [])) for i in range(self.n)},
                 broken=broken,
                 operational=operational,
@@ -199,28 +201,71 @@ class Runner:
     ) -> frozenset[frozenset[int]]:
         """Definition 4, per round: a link {i, j} is unreliable if an
         endpoint is broken or traffic on either direction was not delivered
-        exactly (as a multiset)."""
-        sent_by_link: dict[tuple[int, int], list[Envelope]] = {}
-        for envelope in traffic:
-            sent_by_link.setdefault((envelope.sender, envelope.receiver), []).append(envelope)
-        delivered_by_link: dict[tuple[int, int], list[Envelope]] = {}
-        for receiver, envelopes in plan.items():
-            for envelope in envelopes:
-                delivered_by_link.setdefault((envelope.sender, receiver), []).append(envelope)
+        exactly (as a multiset).
 
-        unreliable: set[frozenset[int]] = set()
+        The comparison is linear in the round's traffic instead of
+        quadratic per link, and in the common case touches no payload at
+        all: the adversary passes delivered envelopes through *by
+        reference*, so each direction's delivered id-multiset usually
+        equals its sent id-multiset, which already proves multiset
+        equality.  Only directions whose id-counts differ are re-compared
+        by content (an injected equal *copy* is still a faithful
+        delivery) — Counter-based, with the legacy remove-one-by-one
+        comparison for unhashable payloads, so adversaries are free to
+        inject arbitrary garbage.
+        """
+        links_broken: set[frozenset[int]] = set()
         for i in broken:
             for j in range(self.n):
                 if j != i:
-                    unreliable.add(frozenset((i, j)))
-        directions = set(sent_by_link) | set(delivered_by_link)
-        for (src, dst) in directions:
-            link = frozenset((src, dst))
+                    links_broken.add(frozenset((i, j)))
+
+        # per direction: envelope-object id counts (the object lists keep
+        # every counted envelope alive, so ids cannot be recycled)
+        sent_ids: dict[tuple[int, int], dict[int, int]] = {}
+        delivered_ids: dict[tuple[int, int], dict[int, int]] = {}
+        sent_objs: dict[tuple[int, int], list[Envelope]] = {}
+        delivered_objs: dict[tuple[int, int], list[Envelope]] = {}
+
+        for envelope in traffic:
+            if envelope.sender in broken or envelope.receiver in broken:
+                continue  # the link is already unreliable; skip bookkeeping
+            direction = (envelope.sender, envelope.receiver)
+            counts = sent_ids.get(direction)
+            if counts is None:
+                counts = sent_ids[direction] = {}
+                sent_objs[direction] = []
+            ident = id(envelope)
+            counts[ident] = counts.get(ident, 0) + 1
+            sent_objs[direction].append(envelope)
+        for receiver, envelopes in plan.items():
+            for envelope in envelopes:
+                if envelope.sender in broken or receiver in broken:
+                    continue
+                direction = (envelope.sender, receiver)
+                counts = delivered_ids.get(direction)
+                if counts is None:
+                    counts = delivered_ids[direction] = {}
+                    delivered_objs[direction] = []
+                ident = id(envelope)
+                counts[ident] = counts.get(ident, 0) + 1
+                delivered_objs[direction].append(envelope)
+
+        unreliable = set(links_broken)
+        for direction in set(sent_ids) | set(delivered_ids):
+            link = frozenset(direction)
             if link in unreliable:
                 continue
-            if not _same_multiset(sent_by_link.get((src, dst), []),
-                                  delivered_by_link.get((src, dst), [])):
-                unreliable.add(link)
+            if sent_ids.get(direction) == delivered_ids.get(direction):
+                continue  # identical objects => identical multisets
+            sent_side = sent_objs.get(direction, [])
+            delivered_side = delivered_objs.get(direction, [])
+            try:
+                if Counter(sent_side) != Counter(delivered_side):
+                    unreliable.add(link)
+            except TypeError:
+                if not _same_multiset(sent_side, delivered_side):
+                    unreliable.add(link)
         return frozenset(unreliable)
 
     # -- model-specific hooks ------------------------------------------------------
@@ -257,6 +302,9 @@ class Runner:
 
 
 def _same_multiset(a: list[Envelope], b: list[Envelope]) -> bool:
+    """Legacy quadratic multiset comparison — kept as the fallback for
+    directions carrying unhashable payloads (and as the reference the
+    Counter path is tested against)."""
     if len(a) != len(b):
         return False
     remaining = list(b)

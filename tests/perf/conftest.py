@@ -1,0 +1,21 @@
+"""Perf-layer test isolation.
+
+The performance layer is process-global state (one config, one
+verification cache, one canonical cache per process), so every test here
+runs against a freshly cleared layer and restores whatever configuration
+was in force before it."""
+
+import dataclasses
+
+import pytest
+
+from repro.perf import configure, perf_config
+
+
+@pytest.fixture
+def perf():
+    """Clean, fully enabled perf layer; restores prior flags afterwards."""
+    saved = dataclasses.asdict(perf_config())
+    configure(enabled=True)  # also clears every cache
+    yield perf_config()
+    configure(**saved)

@@ -1,0 +1,154 @@
+"""The Counter-based link accounting against the legacy reference.
+
+``Runner._unreliable_links`` was rewritten from a quadratic per-link
+multiset diff to Counter comparisons; these tests drive both through
+randomized traffic/delivery scenarios — including unhashable payloads,
+which take the legacy fallback path — and demand identical verdicts.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.messages import Envelope
+from repro.sim.runner import Runner, _same_multiset
+from repro.sim.clock import Schedule
+from repro.sim.adversary_api import PassiveAdversary
+from repro.sim.node import NodeProgram
+
+
+class _Idle(NodeProgram):
+    def step(self, ctx, inbox):
+        pass
+
+
+def _runner(n=4):
+    schedule = Schedule(setup_rounds=1, refresh_rounds=1, normal_rounds=4)
+    return Runner([_Idle() for _ in range(n)], PassiveAdversary(), schedule)
+
+
+def _reference(runner, traffic, plan, broken):
+    """The pre-rewrite algorithm, verbatim."""
+    sent_by_link = {}
+    for envelope in traffic:
+        sent_by_link.setdefault((envelope.sender, envelope.receiver), []).append(envelope)
+    delivered_by_link = {}
+    for receiver, envelopes in plan.items():
+        for envelope in envelopes:
+            delivered_by_link.setdefault((envelope.sender, receiver), []).append(envelope)
+    unreliable = set()
+    for i in broken:
+        for j in range(runner.n):
+            if j != i:
+                unreliable.add(frozenset((i, j)))
+    for direction in set(sent_by_link) | set(delivered_by_link):
+        link = frozenset(direction)
+        if link in unreliable:
+            continue
+        if not _same_multiset(sent_by_link.get(direction, []),
+                              delivered_by_link.get(direction, [])):
+            unreliable.add(link)
+    return frozenset(unreliable)
+
+
+def _random_scenario(rng, n, hashable=True):
+    traffic = []
+    for _ in range(rng.randrange(0, 40)):
+        sender = rng.randrange(n)
+        receiver = rng.choice([x for x in range(n) if x != sender])
+        if hashable or rng.random() < 0.7:
+            payload = ("p", rng.randrange(5))
+        else:
+            payload = ["unhashable", rng.randrange(5)]
+        traffic.append(Envelope(sender, receiver, "c", payload, 3))
+
+    plan = {i: [] for i in range(n)}
+    for envelope in traffic:
+        roll = rng.random()
+        if roll < 0.65:
+            plan[envelope.receiver].append(envelope)         # faithful
+        elif roll < 0.75:
+            pass                                             # dropped
+        elif roll < 0.85:
+            plan[envelope.receiver].append(envelope)         # duplicated
+            plan[envelope.receiver].append(envelope)
+        else:                                                # modified
+            plan[envelope.receiver].append(envelope.with_payload(("mod",)))
+    # occasional pure injection
+    if rng.random() < 0.5 and n >= 2:
+        plan[1].append(Envelope(0, 1, "c", ("injected",), 3))
+    broken = frozenset(i for i in range(n) if rng.random() < 0.2)
+    return tuple(traffic), plan, broken
+
+
+@pytest.mark.parametrize("hashable", [True, False], ids=["hashable", "mixed-unhashable"])
+def test_matches_reference_randomized(hashable):
+    runner = _runner(n=4)
+    rng = random.Random(2026 if hashable else 2027)
+    for _ in range(200):
+        traffic, plan, broken = _random_scenario(rng, runner.n, hashable=hashable)
+        assert runner._unreliable_links(traffic, plan, broken) == \
+            _reference(runner, traffic, plan, broken)
+
+
+def test_faithful_delivery_no_unreliable_links():
+    runner = _runner()
+    traffic = tuple(
+        Envelope(i, j, "c", ("m", i, j), 1)
+        for i in range(4) for j in range(4) if i != j
+    )
+    plan = {j: [e for e in traffic if e.receiver == j] for j in range(4)}
+    assert runner._unreliable_links(traffic, plan, frozenset()) == frozenset()
+
+
+def test_broken_endpoint_marks_all_links():
+    runner = _runner()
+    unreliable = runner._unreliable_links((), {i: [] for i in range(4)}, frozenset({2}))
+    assert unreliable == frozenset(frozenset((2, j)) for j in range(4) if j != 2)
+
+
+def test_dropped_and_injected_directions():
+    runner = _runner()
+    sent = Envelope(0, 1, "c", ("m",), 1)
+    injected = Envelope(3, 2, "c", ("fake",), 1)
+    plan = {i: [] for i in range(4)}
+    plan[2].append(injected)
+    unreliable = runner._unreliable_links((sent,), plan, frozenset())
+    assert unreliable == frozenset({frozenset((0, 1)), frozenset((2, 3))})
+
+
+def test_duplicate_counts_matter():
+    """Delivering the same envelope twice breaks the multiset equality."""
+    runner = _runner()
+    envelope = Envelope(0, 1, "c", ("m",), 1)
+    plan = {i: [] for i in range(4)}
+    plan[1] = [envelope, envelope]
+    assert runner._unreliable_links((envelope,), plan, frozenset()) == \
+        frozenset({frozenset((0, 1))})
+
+
+def test_unhashable_payload_direction_falls_back():
+    runner = _runner()
+    envelope = Envelope(0, 1, "c", ["unhashable"], 1)
+    plan = {i: [] for i in range(4)}
+    plan[1] = [envelope]
+    assert runner._unreliable_links((envelope,), plan, frozenset()) == frozenset()
+    plan[1] = []
+    assert runner._unreliable_links((envelope,), plan, frozenset()) == \
+        frozenset({frozenset((0, 1))})
+
+
+def test_envelope_hash_is_memoized_and_stable():
+    envelope = Envelope(0, 1, "c", ("m", 2), 1)
+    first = hash(envelope)
+    assert envelope.__dict__["_hash"] == first
+    assert hash(envelope) == first
+    twin = Envelope(0, 1, "c", ("m", 2), 1)
+    assert hash(twin) == first and twin == envelope
+
+
+def test_envelope_unhashable_payload_raises():
+    envelope = Envelope(0, 1, "c", ["m"], 1)
+    with pytest.raises(TypeError):
+        hash(envelope)
+    assert "_hash" not in envelope.__dict__
