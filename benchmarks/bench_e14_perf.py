@@ -29,7 +29,6 @@ full-sweep ``BENCH_E14.json`` alone).
 """
 
 import argparse
-import hashlib
 import json
 import os
 import pathlib
@@ -43,10 +42,9 @@ if __name__ == "__main__":  # script mode: make src/ importable without PYTHONPA
     if str(_src) not in sys.path:
         sys.path.insert(0, str(_src))
 
-from repro.perf import configure, perf_config
-from repro.sim.messages import Envelope
+from repro.perf import configure
 
-from common import build_uls_network, emit_json, format_table
+from common import build_uls_network, emit_json, format_table, transcript_digest
 from bench_e13_chaos import run_disperse_chaos, run_uls_chaos
 
 SMOKE = bool(os.environ.get("BENCH_SMOKE"))
@@ -92,51 +90,6 @@ def _run_point(point):
     else:
         raise ValueError(f"unknown sweep point kind {kind!r}")
     return execution
-
-
-# ------------------------------------------------------------- digests
-
-def _stable(value):
-    """A canonical, process-independent form of transcript values.
-
-    Sets are sorted (frozenset iteration order depends on
-    PYTHONHASHSEED, which differs between worker processes), dicts are
-    sorted by key, envelopes are flattened; everything else keeps its
-    deterministic ``repr``.
-    """
-    if isinstance(value, Envelope):
-        return ("Env", value.sender, value.receiver, value.channel,
-                _stable(value.payload), value.round_sent)
-    if isinstance(value, (set, frozenset)):
-        return ("set",) + tuple(sorted((_stable(v) for v in value), key=repr))
-    if isinstance(value, dict):
-        return ("dict",) + tuple(
-            sorted(((_stable(k), _stable(v)) for k, v in value.items()), key=repr)
-        )
-    if isinstance(value, (tuple, list)):
-        return tuple(_stable(v) for v in value)
-    return value
-
-
-def transcript_digest(execution) -> str:
-    """SHA-256 over the full execution transcript in canonical form."""
-    payload = (
-        [
-            (
-                record.info,
-                _stable(record.sent),
-                _stable(record.delivered),
-                _stable(record.broken),
-                _stable(record.operational),
-                _stable(record.unreliable_links),
-            )
-            for record in execution.records
-        ],
-        _stable(execution.system_log),
-        _stable(execution.node_outputs),
-        _stable(execution.adversary_output),
-    )
-    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
 
 
 # ----------------------------------------------------------- measurement
@@ -223,7 +176,8 @@ def build_report(measurements, jobs: int) -> dict:
             "group": "toy64",
             "smoke": SMOKE,
             "perf_flags_on": ["verify_cache", "canonical_cache", "challenge_cache",
-                              "fixed_base", "batch_verify"],
+                              "fixed_base", "batch_verify", "feldman_batch",
+                              "partial_batch", "share_image_cache", "gc_tuning"],
             "points": [point_id(p) for p in sweep_points()],
         },
         "results": results,

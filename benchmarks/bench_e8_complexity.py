@@ -5,20 +5,46 @@ send to all ``n - 1`` nodes; the paper observes that flooding to a fixed
 set of ``2t + 1`` relays preserves the agreement properties while cutting
 per-node complexity from O(n²) to O(nt).
 
-We run the full ULS refresh both ways at fixed ``t`` across growing ``n``
-and report messages per refreshment phase and per normal round.  The
-expected shape: the sparse/full ratio falls as ``n`` grows (toward
-``(2t+1)/n``-ish), while every refresh still succeeds.
+Two sweeps:
+
+* **Message complexity** — the full ULS refresh both ways at fixed ``t``
+  across growing ``n``: messages per refreshment phase and per normal
+  round.  Expected shape: the sparse/full ratio falls as ``n`` grows
+  (toward ``(2t+1)/n``-ish), while every refresh still succeeds.
+
+* **Refresh timing** — the same workload at n ∈ {13, 25, 37} with the
+  perf layer off and on (batched Feldman verification, batched partial
+  signatures, share-image cache, the lot — see docs/PROTOCOLS.md §12),
+  asserting the two transcripts digest identically.  n = 13 runs the
+  full flood (the PR 2 reference point tracked in ``BENCH_E14.json``);
+  n ≥ 25 uses the 2t+1 sparse relay — the paper's own prescription for
+  that regime, and what keeps the layer-off baseline runnable.
+
+Both sweeps land in ``benchmarks/results/BENCH_E8.json``.  With
+``BENCH_SMOKE=1`` the sweeps shrink to CI size (timing only at n = 25)
+and the report goes to ``BENCH_E8_smoke.json``, leaving the committed
+full-sweep report alone.
 """
+
+import os
+import time
 
 import pytest
 
 from repro.analysis.metrics import message_stats
+from repro.perf import configure
 
-from common import build_uls_network, emit, format_table, table_data
+from common import build_uls_network, emit, emit_json, format_table, table_data, \
+    transcript_digest
 
 T = 2
 UNITS = 2
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+MESSAGE_NS = (6, 7) if SMOKE else (6, 7, 9, 11)
+#: (n, relay_fanout) timing points; None = full flood
+TIMING_POINTS = [(25, 2 * T + 1)] if SMOKE else \
+    [(13, None), (25, 2 * T + 1), (37, 2 * T + 1)]
 
 
 def run_variant(n: int, relay_fanout, seed: int = 0):
@@ -33,11 +59,30 @@ def run_variant(n: int, relay_fanout, seed: int = 0):
     return stats.per_refresh_phase, stats.per_normal_round
 
 
+def run_timed(n: int, relay_fanout, enabled: bool, seed: int = 0):
+    """One full E8 execution (network build + run) with the perf layer
+    forced on or off; returns (seconds, transcript digest)."""
+    configure(enabled=enabled)  # also clears every cache: cold start
+    try:
+        start = time.perf_counter()
+        public, programs, runner, schedule = build_uls_network(
+            n, T, seed, relay_fanout=relay_fanout
+        )
+        execution = runner.run(units=UNITS)
+        elapsed = time.perf_counter() - start
+        for program in programs:
+            assert program.keystore.history == [(1, "ok")], "refresh must succeed"
+            assert program.state.share_is_valid()
+        return elapsed, transcript_digest(execution)
+    finally:
+        configure(enabled=True)
+
+
 @pytest.fixture(scope="module")
 def table():
     rows = []
     fanout = 2 * T + 1
-    for n in (6, 7, 9, 11):
+    for n in MESSAGE_NS:
         full_refresh, full_normal = run_variant(n, None)
         sparse_refresh, sparse_normal = run_variant(n, fanout)
         ratio = sparse_refresh / full_refresh
@@ -51,13 +96,51 @@ def table():
     return rows
 
 
+@pytest.fixture(scope="module")
+def timing_table():
+    rows = []
+    for n, fanout in TIMING_POINTS:
+        off_s, off_digest = run_timed(n, fanout, enabled=False)
+        on_s, on_digest = run_timed(n, fanout, enabled=True)
+        assert on_digest == off_digest, f"transcript drift at n={n}"
+        rows.append((n, "full" if fanout is None else f"sparse-{fanout}",
+                     round(off_s, 4), round(on_s, 4), round(off_s / on_s, 2),
+                     "yes"))
+    return rows
+
+
+MESSAGE_HEADERS = ["n", "t", "full msgs/refresh", "sparse msgs/refresh",
+                   "sparse/full", "full msgs/normal-round",
+                   "sparse msgs/normal-round"]
+TIMING_HEADERS = ["n", "flood", "layer-off s", "layer-on s", "speedup",
+                  "same transcript"]
+
+
 def test_e8_message_complexity(table, benchmark):
-    headers = ["n", "t", "full msgs/refresh", "sparse msgs/refresh", "sparse/full",
-               "full msgs/normal-round", "sparse msgs/normal-round"]
     emit("e8_complexity", format_table(
         "E8  Refresh message complexity: full flood (O(n^2) per node) vs "
         f"2t+1-relay DISPERSE (O(nt)), t={T}",
-        headers,
+        MESSAGE_HEADERS,
         table,
-    ), data=table_data(headers, table))
+    ))
     benchmark(lambda: run_variant(6, 2 * T + 1, seed=1))
+
+
+def test_e8_refresh_timing(table, timing_table, benchmark):
+    emit("e8_refresh_timing", format_table(
+        f"E8  Refresh wall-clock, perf layer off vs on (t={T}, units={UNITS}; "
+        "transcripts bit-identical)",
+        TIMING_HEADERS,
+        timing_table,
+    ))
+    stem = "BENCH_E8_smoke" if SMOKE else "BENCH_E8"
+    emit_json(stem, {
+        "experiment": "e8_complexity",
+        "config": {"group": "toy64", "t": T, "units": UNITS, "smoke": SMOKE},
+        "message_complexity": table_data(MESSAGE_HEADERS, table),
+        "refresh_timing": table_data(TIMING_HEADERS, timing_table),
+    })
+    # the batched-refresh acceptance bar: >=2x at every timing point
+    for row in timing_table:
+        assert row[4] >= 2.0, row
+    benchmark(lambda: run_timed(6, 2 * T + 1, True, seed=1)[0])

@@ -27,6 +27,7 @@ from repro.pds.threshold_schnorr import pds_message_bytes, verify_pds_signature_
 from repro.perf.cache import (
     CanonicalKeyCache,
     cached_verify,
+    canonical_encoding,
     lookup_verify,
     store_verify,
 )
@@ -81,8 +82,25 @@ class CertifiedMessage(tuple):
         return self[7]
 
 
+# encode_for_hash of a 6-tuple = list header + the six element encodings
+# concatenated; the first element is always the literal "auth-msg" tag.
+# Assembling the pieces here lets the (shared, deeply nested) message body
+# reuse its identity-memoized encoding instead of being re-walked once per
+# destination — the bytes are identical to encoding the whole tuple.
+_SIGNED_HEADER = b"L" + (6).to_bytes(8, "big") + encode_for_hash("auth-msg")
+
+
 def _signed_bytes(message: Any, source: int, destination: int, unit: int, round_w: int) -> bytes:
-    return encode_for_hash(("auth-msg", message, source, destination, unit, round_w))
+    return b"".join(
+        (
+            _SIGNED_HEADER,
+            canonical_encoding(message),
+            encode_for_hash(source),
+            encode_for_hash(destination),
+            encode_for_hash(unit),
+            encode_for_hash(round_w),
+        )
+    )
 
 
 # DISPERSE floods hand the *same* certified tuple object to every relay

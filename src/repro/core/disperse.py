@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Hashable
 
-from repro.perf.cache import canonical_body_key
+from repro.perf.cache import canonical_body_key, canonical_key_fn, canonical_probe
 from repro.sim.messages import Envelope
 from repro.sim.node import NodeContext
 
@@ -86,10 +86,17 @@ class DisperseService:
         self.retransmissions_expired = 0
         # due round -> [(receiver, body, tag, retries_left, time_unit)]
         self._retx_queue: dict[int, list[tuple[int, Any, str, int, int]]] = {}
+        # full-flood target list; identical for every send by this node
+        self._all_targets: list[int] | None = None
 
     def _targets(self, ctx: NodeContext, receiver: int) -> list[int]:
         if self.relay_fanout is None or self.relay_fanout >= ctx.n - 1:
-            return [node for node in range(ctx.n) if node != ctx.node_id]
+            targets = self._all_targets
+            if targets is None or len(targets) != ctx.n - 1:
+                targets = self._all_targets = [
+                    node for node in range(ctx.n) if node != ctx.node_id
+                ]
+            return targets
         targets: list[int] = []
         for node in range(ctx.n):
             if node in (ctx.node_id, receiver):
@@ -119,8 +126,7 @@ class DisperseService:
 
     def _flood(self, ctx: NodeContext, receiver: int, body: Any, tag: str) -> None:
         payload = ("fwd", tag, ctx.node_id, receiver, body)
-        for node in self._targets(ctx, receiver):
-            ctx.send(node, DISPERSE_CHANNEL, payload)
+        ctx.fanout(self._targets(ctx, receiver), DISPERSE_CHANNEL, payload)
 
     def on_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
         """Steps 2-3: relay foreign forwards, collect receipts (and fire
@@ -138,6 +144,18 @@ class DisperseService:
                 )
         self._current = self._buffered.pop(round_number, [])
         emitted: set[Hashable] = set()
+        # the flood loop touches every inbox envelope; bind the per-round
+        # invariants (dedup key memo, own id, dedup sets, outbox) to locals
+        # and inline the memo probe and the relay send so the per-envelope
+        # cost is free of attribute lookups and function-call overhead
+        key_entries, key_miss = canonical_probe()
+        node_id = ctx.node_id
+        n = ctx.n
+        outbox_append = ctx.outbox.append
+        relayed = self._relayed
+        seen_receipts = self._seen_receipts
+        current = self._current
+        relayed_count = 0
 
         for envelope in inbox:
             if envelope.channel != DISPERSE_CHANNEL:
@@ -147,30 +165,59 @@ class DisperseService:
                 continue
             kind, tag, src, dst, body = payload
             if kind == "fwd":
-                if dst == ctx.node_id:
+                if dst == node_id:
                     # the direct path; buffer so receipt timing is uniform
                     self._buffer(round_number + 1, tag, src, body)
                 else:
-                    relay_key = ("r", round_number, tag, src, dst, _body_key(body))
-                    if relay_key in self._relayed:
+                    entry = key_entries.get(id(body))
+                    key = (
+                        entry[1]
+                        if entry is not None and entry[0] is body
+                        else key_miss(body)
+                    )
+                    relay_key = ("r", round_number, tag, src, dst, key)
+                    if relay_key in relayed:
                         continue
-                    self._relayed.add(relay_key)
-                    self.messages_relayed += 1
-                    ctx.send(dst, DISPERSE_CHANNEL, ("fwding", tag, src, dst, body))
+                    relayed.add(relay_key)
+                    relayed_count += 1
+                    # same validation + envelope as ctx.send(dst, ...)
+                    if not 0 <= dst < n:
+                        raise ValueError(f"receiver {dst} out of range")
+                    outbox_append(
+                        Envelope(
+                            node_id,
+                            dst,
+                            DISPERSE_CHANNEL,
+                            ("fwding", tag, src, dst, body),
+                            round_number,
+                        )
+                    )
             elif kind == "fwding":
-                if dst != ctx.node_id:
+                if dst != node_id:
                     continue
-                receipt_key = (round_number, tag, src, _body_key(body))
-                if receipt_key in emitted or receipt_key in self._seen_receipts:
+                entry = key_entries.get(id(body))
+                key = (
+                    entry[1]
+                    if entry is not None and entry[0] is body
+                    else key_miss(body)
+                )
+                receipt_key = (round_number, tag, src, key)
+                if receipt_key in emitted or receipt_key in seen_receipts:
                     continue
                 emitted.add(receipt_key)
-                self._current.append((tag, src, body))
+                current.append((tag, src, body))
+        self.messages_relayed += relayed_count
 
         # dedup against the buffered direct copies that were released now
         deduped: list[tuple[str, int, Any]] = []
         seen: set[Hashable] = set()
-        for tag, src, body in self._current:
-            key = (tag, src, _body_key(body))
+        for tag, src, body in current:
+            entry = key_entries.get(id(body))
+            key = (
+                tag,
+                src,
+                entry[1] if entry is not None and entry[0] is body else key_miss(body),
+            )
             if key in seen:
                 continue
             seen.add(key)

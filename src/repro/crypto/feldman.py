@@ -16,12 +16,23 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.crypto.field import Polynomial
 from repro.crypto.group import SchnorrGroup
+from repro.crypto.hashing import encode_for_hash, hash_to_int, tagged_hash
 from repro.crypto.shamir import Share, ShamirDealer
+from repro.perf.config import perf_config
+from repro.perf.share_image import share_image_value
 
-__all__ = ["FeldmanCommitment", "FeldmanDealing", "FeldmanDealer"]
+__all__ = [
+    "FeldmanCommitment",
+    "FeldmanDealing",
+    "FeldmanDealer",
+    "verify_shares_batch",
+]
+
+_BATCH_TAG = "repro/feldman/batch"
 
 
 @dataclass(frozen=True)
@@ -40,13 +51,13 @@ class FeldmanCommitment:
         return len(self.elements) - 1
 
     def share_image(self, group: SchnorrGroup, x: int) -> int:
-        """Compute ``g^{f(x)} = Π elements[k]^{x^k}`` from public data."""
-        acc = group.identity
-        power_of_x = 1
-        for element in self.elements:
-            acc = group.multiply(acc, group.power(element, power_of_x))
-            power_of_x = (power_of_x * x) % group.q
-        return acc
+        """Compute ``g^{f(x)} = Π elements[k]^{x^k}`` from public data.
+
+        Memoized (and fixed-base accelerated on large groups) per
+        commitment through :mod:`repro.perf.share_image`; the value is
+        bit-identical with the perf layer on or off.
+        """
+        return share_image_value(group, self.elements, x)
 
     def verify_share(self, group: SchnorrGroup, share: Share) -> bool:
         """Check ``g^{share.value} == g^{f(share.x)}``."""
@@ -55,14 +66,20 @@ class FeldmanCommitment:
     def combine(self, group: SchnorrGroup, other: "FeldmanCommitment") -> "FeldmanCommitment":
         """Commitment to the sum of the two committed polynomials.
 
-        Shorter vectors are padded with the identity (commitment to a zero
-        coefficient), so polynomials of different degree bounds compose.
+        The degree bounds must match: every protocol combine (renewal,
+        blinding) adds polynomials of the same degree ``t``, and padding a
+        shorter adversarial vector with the identity would silently accept
+        a lower-degree dealing whose combined sharing no longer matches
+        its acked hash.  Raises ``ValueError`` on a mismatch.
         """
-        length = max(len(self.elements), len(other.elements))
-        mine = self.elements + (group.identity,) * (length - len(self.elements))
-        theirs = other.elements + (group.identity,) * (length - len(other.elements))
+        if len(self.elements) != len(other.elements):
+            raise ValueError(
+                f"degree bound mismatch: {self.degree_bound} vs {other.degree_bound}"
+            )
         return FeldmanCommitment(
-            elements=tuple(group.multiply(a, b) for a, b in zip(mine, theirs))
+            elements=tuple(
+                group.multiply(a, b) for a, b in zip(self.elements, other.elements)
+            )
         )
 
 
@@ -104,5 +121,70 @@ class FeldmanDealer:
         return self.deal(0, rng)
 
     def verify_zero_dealing(self, dealing_commitment: FeldmanCommitment) -> bool:
-        """Check that a commitment opens to a sharing of zero."""
-        return dealing_commitment.public_constant == self.group.identity
+        """Check that a commitment opens to a degree-``t`` sharing of zero.
+
+        Rejects both a non-identity constant term (the dealt secret would
+        not be zero, so adding it would *change* the key) and a mismatched
+        degree bound (a lower- or higher-degree dealing would change the
+        reconstruction threshold of the refreshed sharing).
+        """
+        return (
+            dealing_commitment.degree_bound == self.threshold
+            and dealing_commitment.public_constant == self.group.identity
+        )
+
+
+def verify_shares_batch(
+    group: SchnorrGroup,
+    items: Sequence[tuple[FeldmanCommitment, Share]],
+) -> list[bool]:
+    """Per-item verdicts of ``commitment.verify_share(group, share)`` for a
+    whole batch, checked with one random-linear-combination equation.
+
+    Mirrors :meth:`repro.crypto.schnorr.SchnorrScheme.batch_verify`:
+    coefficients ``c_i ∈ [1, q)`` come from a Fiat–Shamir hash of the whole
+    batch (every commitment vector, evaluation point and claimed value), so
+    the check is deterministic and an adversary cannot pick shares after
+    the coefficients are fixed.  The verified equation is
+
+        g^(Σ c_i·v_i)  ==  Π_i Π_k elements_{i,k}^{c_i·x_i^k}
+
+    with exponents aggregated per distinct base (all zero-dealings share
+    the identity constant term, and co-dealt commitments frequently repeat
+    elements).  If the aggregate holds, every share is valid up to the
+    standard ``1/q`` soundness error; if it fails, the function falls back
+    to per-item verification *in batch order*, so blame attribution — which
+    dealer gets complained against, which partial emitter gets rejected —
+    is identical to the unbatched path.
+
+    With the ``feldman_batch`` flag off (or a batch of size ≤ 1) this is
+    exactly the per-item loop.
+    """
+    if not items:
+        return []
+    cfg = perf_config()
+    if len(items) == 1 or not (cfg.enabled and cfg.feldman_batch):
+        return [commitment.verify_share(group, share) for commitment, share in items]
+    q = group.q
+    transcript = tagged_hash(
+        _BATCH_TAG,
+        *(
+            encode_for_hash((commitment.elements, share.x, share.value))
+            for commitment, share in items
+        ),
+    )
+    value_total = 0
+    base_exponents: dict[int, int] = {}
+    for index, (commitment, share) in enumerate(items):
+        c = 1 + hash_to_int(_BATCH_TAG, q - 1, transcript, index)
+        value_total = (value_total + c * share.value) % q
+        power_of_x = 1
+        for element in commitment.elements:
+            base_exponents[element] = (
+                base_exponents.get(element, 0) + c * power_of_x
+            ) % q
+            power_of_x = (power_of_x * share.x) % q
+    rhs = group.multi_power(list(base_exponents.items()))
+    if group.base_power(value_total) == rhs:
+        return [True] * len(items)
+    return [commitment.verify_share(group, share) for commitment, share in items]

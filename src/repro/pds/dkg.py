@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.keystore import LocalKeys, certificate_assertion
-from repro.crypto.feldman import FeldmanCommitment, FeldmanDealer
+from repro.crypto.feldman import FeldmanCommitment, FeldmanDealer, verify_shares_batch
 from repro.crypto.group import SchnorrGroup
 from repro.crypto.shamir import Share
 from repro.crypto.signature import SignatureScheme
@@ -77,15 +77,27 @@ class DkgUGenProgram(NodeProgram):
                           dealing.shares[receiver].value))
 
     def _combine(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
+        # all dealings are verified as one batch (random-linear-combination
+        # multi-exponentiation); the fallback inside verify_shares_batch
+        # keeps per-dealer verdicts identical to checking each in turn
+        deals: list[tuple[int, FeldmanCommitment, int]] = []
         for envelope in inbox:
             if envelope.channel != _DKG_CHANNEL or envelope.payload[0] != "deal":
                 continue
             _, elements, share_value = envelope.payload
-            commitment = FeldmanCommitment(elements=tuple(elements))
-            if commitment.verify_share(
-                self.group, Share(x=ctx.node_id + 1, value=share_value)
-            ):
-                self._dealings.setdefault(envelope.sender, (commitment, share_value))
+            deals.append(
+                (envelope.sender, FeldmanCommitment(elements=tuple(elements)), share_value)
+            )
+        verdicts = verify_shares_batch(
+            self.group,
+            [
+                (commitment, Share(x=ctx.node_id + 1, value=value))
+                for _, commitment, value in deals
+            ],
+        )
+        for (sender, commitment, share_value), valid in zip(deals, verdicts):
+            if valid:
+                self._dealings.setdefault(sender, (commitment, share_value))
         if len(self._dealings) != self.n:
             raise RuntimeError(
                 f"DKG expects all {self.n} dealings during the reliable set-up; "

@@ -17,6 +17,7 @@ from typing import Any
 from repro.crypto.feldman import FeldmanCommitment, FeldmanDealer
 from repro.crypto.group import SchnorrGroup
 from repro.crypto.shamir import Share
+from repro.perf.share_image import invalidate_share_images
 
 __all__ = ["PdsPublic", "PdsNodeState", "deal_initial_states"]
 
@@ -74,11 +75,20 @@ class PdsNodeState:
 
     def install_share(self, share: Share | None, commitment: FeldmanCommitment,
                       unit: int, kind: str = "refresh") -> None:
-        """Replace share + commitment, erasing the old share (§6)."""
+        """Replace share + commitment, erasing the old share (§6).
+
+        Also drops the superseded commitment's rotation bucket from the
+        share-image cache — its memoized images and fixed-base windows
+        belong to the pre-refresh sharing and must never serve the
+        refreshed key.
+        """
+        old = self.key_commitment
         self.share = share
         self.key_commitment = commitment
         self.unit = unit
         self.erasure_log.append((unit, kind))
+        if old is not commitment and old.elements != commitment.elements:
+            invalidate_share_images(self.public.group, old.elements)
 
 
 def deal_initial_states(

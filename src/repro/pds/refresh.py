@@ -38,7 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.crypto.feldman import FeldmanCommitment, FeldmanDealer
+from repro.crypto.feldman import FeldmanCommitment, FeldmanDealer, verify_shares_batch
 from repro.crypto.hashing import encode_for_hash, tagged_hash
 from repro.crypto.shamir import Share
 from repro.pds.keys import PdsNodeState
@@ -95,6 +95,12 @@ class RefreshService:
         self._phase: _Phase | None = None
         self._events: list[tuple[str, int]] = []
         self._completed_start: int | None = None
+        #: blame record: ``(unit, dealer)`` for every zero-dealing received
+        #: from ``dealer`` that this node refused to ack (bad share, wrong
+        #: degree, or non-zero constant).  Identical with the perf layer on
+        #: or off — the batch verifier falls back to per-dealer checks on
+        #: failure, so attribution never changes.
+        self.rejected_dealers: set[tuple[int, int]] = set()
         #: when True (default), a refresh self-starts at the first round of
         #: every refreshment phase; ULS turns this off and calls begin()
         #: itself once Part (I) has finished
@@ -166,15 +172,26 @@ class RefreshService:
         phase = self._phase
         if phase is None:
             return
+        # Consecutive rf-zdeal messages are collected into one run and
+        # verified as a batch (one RLC multi-exponentiation instead of one
+        # share check per dealer).  The run is flushed before any other
+        # message kind is handled, so every cross-handler ordering effect
+        # (e.g. a reveal racing a delayed dealing from the same dealer) is
+        # exactly what per-message processing would have produced.
+        zdeal_run: list[tuple[int, tuple]] = []
         for accepted in self.transport.accepted():
             body = accepted.body
             if not isinstance(body, tuple) or len(body) < 2:
                 continue
             kind = body[0]
+            if kind == "rf-zdeal":
+                zdeal_run.append((accepted.sender, body))
+                continue
+            if zdeal_run:
+                self._on_zero_deals(zdeal_run, phase)
+                zdeal_run = []
             if kind == "rf-sync":
                 self._on_sync(accepted.sender, body, phase)
-            elif kind == "rf-zdeal":
-                self._on_zero_deal(accepted.sender, body, phase)
             elif kind == "rf-zack":
                 self._on_zero_ack(accepted.sender, body, phase)
             elif kind == "rf-need":
@@ -185,6 +202,8 @@ class RefreshService:
                 self._on_zero_reveal(accepted.sender, body, phase)
             elif kind == "rf-help":
                 self._on_help(accepted.sender, body, phase)
+        if zdeal_run:
+            self._on_zero_deals(zdeal_run, phase)
 
     def _on_sync(self, sender: int, body: tuple, phase: _Phase) -> None:
         try:
@@ -194,25 +213,53 @@ class RefreshService:
         if unit == phase.unit:
             phase.sync_votes.setdefault(sender, tuple(elements))
 
-    def _on_zero_deal(self, dealer: int, body: tuple, phase: _Phase) -> None:
-        try:
-            _, unit, elements, share_value = body
-        except ValueError:
-            return
-        if unit != phase.unit or dealer in phase.zero_dealings:
-            return
-        commitment = FeldmanCommitment(elements=tuple(elements))
+    def _on_zero_deals(self, run: list[tuple[int, tuple]], phase: _Phase) -> None:
+        """Handle a run of zero-dealings; first message per dealer wins.
+
+        Structural checks (unit, dedup, zero constant, degree bound, share
+        type) happen per message in arrival order; the surviving share
+        checks go through :func:`verify_shares_batch`, whose per-item
+        fallback keeps verdicts — and therefore ack lists and blame —
+        identical to checking each dealer individually.
+        """
         group = self.state.public.group
-        if commitment.public_constant != group.identity:
-            return  # not a sharing of zero: reject outright
-        if commitment.degree_bound != self.state.public.threshold:
-            return
-        valid = isinstance(share_value, int) and commitment.verify_share(
-            group, Share(x=self.state.share_index, value=share_value)
+        to_verify: list[tuple[int, FeldmanCommitment, int]] = []
+        for dealer, body in run:
+            try:
+                _, unit, elements, share_value = body
+            except ValueError:
+                continue
+            if unit != phase.unit or dealer in phase.zero_dealings:
+                continue
+            if any(dealer == queued for queued, _, _ in to_verify):
+                continue  # an earlier dealing from this dealer is already queued
+            commitment = FeldmanCommitment(elements=tuple(elements))
+            if commitment.public_constant != group.identity:
+                self.rejected_dealers.add((phase.unit, dealer))
+                continue  # not a sharing of zero: reject outright
+            if commitment.degree_bound != self.state.public.threshold:
+                self.rejected_dealers.add((phase.unit, dealer))
+                continue
+            if not isinstance(share_value, int):
+                self.rejected_dealers.add((phase.unit, dealer))
+                phase.zero_dealings[dealer] = _ZeroDealing(
+                    commitment=commitment, my_share_value=None
+                )
+                continue
+            to_verify.append((dealer, commitment, share_value))
+        verdicts = verify_shares_batch(
+            group,
+            [
+                (commitment, Share(x=self.state.share_index, value=value))
+                for _, commitment, value in to_verify
+            ],
         )
-        phase.zero_dealings[dealer] = _ZeroDealing(
-            commitment=commitment, my_share_value=share_value if valid else None
-        )
+        for (dealer, commitment, value), valid in zip(to_verify, verdicts):
+            if not valid:
+                self.rejected_dealers.add((phase.unit, dealer))
+            phase.zero_dealings[dealer] = _ZeroDealing(
+                commitment=commitment, my_share_value=value if valid else None
+            )
 
     def _on_zero_ack(self, acker: int, body: tuple, phase: _Phase) -> None:
         try:
@@ -241,6 +288,9 @@ class RefreshService:
             return
         commitment = FeldmanCommitment(elements=tuple(elements))
         group = self.state.public.group
+        # blinding polynomials have degree exactly t (combine() requires it)
+        if commitment.degree_bound != self.state.public.threshold:
+            return
         # a blinding polynomial must vanish at the requester's index
         if commitment.share_image(group, requester + 1) != group.identity:
             return
@@ -337,6 +387,8 @@ class RefreshService:
         for elements, count in sorted(counts.items(), key=lambda kv: -kv[1]):
             if count < self.state.public.threshold + 1:
                 continue
+            if len(elements) != self.state.public.threshold + 1:
+                continue  # a key commitment always has degree exactly t
             candidate = FeldmanCommitment(elements=elements)
             if anchor is not None and candidate.public_constant != anchor:
                 continue

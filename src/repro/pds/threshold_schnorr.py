@@ -47,7 +47,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.crypto.feldman import FeldmanCommitment, FeldmanDealer
-from repro.crypto.hashing import encode_for_hash, tagged_hash
+from repro.crypto.hashing import encode_for_hash, hash_to_int, tagged_hash
 from repro.crypto.schnorr import (
     SchnorrScheme,
     SchnorrSignature,
@@ -57,12 +57,14 @@ from repro.crypto.schnorr import (
 from repro.pds.keys import PdsNodeState
 from repro.pds.transport import Transport
 from repro.perf.cache import cached_verify
+from repro.perf.config import perf_config
 from repro.sim.node import NodeContext
 
 __all__ = ["ThresholdSigner", "pds_message_bytes", "verify_pds_signature"]
 
 _SID_TAG = "repro/tsig/session"
 _COMMIT_TAG = "repro/tsig/commit"
+_PBATCH_TAG = "repro/tsig/pbatch"
 
 
 def pds_message_bytes(message: Any, unit: int) -> bytes:
@@ -119,6 +121,15 @@ class _Session:
     qual: tuple[int, ...] | None = None
     partials: dict[int, tuple[tuple[int, ...], int]] = field(default_factory=dict)
     signature: SchnorrSignature | None = None
+    #: bumped whenever ``dealings`` changes; a partial's verification
+    #: verdict is a pure function of (dealings, key commitment, partial),
+    #: so a memoized verdict stays valid while the version and the key
+    #: commitment object are unchanged
+    version: int = 0
+    #: share_index -> (version, key_commitment, verdict).  The commitment
+    #: is held by strong reference and compared with ``is`` — an id() key
+    #: could be recycled after a refresh drops the old commitment.
+    verify_memo: dict[int, tuple[int, Any, bool]] = field(default_factory=dict)
 
 
 class ThresholdSigner:
@@ -138,6 +149,12 @@ class ThresholdSigner:
         self._failed: list[bytes] = []
         #: rounds from session start to declared failure
         self.deadline_steps = 6
+        #: blame record: ``(sid, share_index)`` for every received partial
+        #: signature that failed cryptographic verification (pre-checks and
+        #: the equation itself; *not* the still-waiting-for-dealings case).
+        #: Identical with the perf layer on or off — the batch verifier
+        #: falls back to per-emitter checks on failure.
+        self.rejected_partials: set[tuple[str, int]] = set()
 
     # -- public API -------------------------------------------------------
 
@@ -251,6 +268,7 @@ class ThresholdSigner:
         session.dealings[dealer] = _Dealing(
             commitment=commitment, my_share_value=share_value if valid else None
         )
+        session.version += 1
 
     def _on_ack(self, acker: int, body: tuple) -> None:
         try:
@@ -290,6 +308,7 @@ class ThresholdSigner:
                     session.dealings[dealer] = _Dealing(
                         commitment=commitment, my_share_value=value
                     )
+                    session.version += 1
 
     def _on_partial(self, emitter: int, body: tuple) -> None:
         try:
@@ -297,9 +316,15 @@ class ThresholdSigner:
         except ValueError:
             return
         session = self.sessions.get(sid)
-        if session is None or not isinstance(value, int):
+        if session is None or not isinstance(value, int) or not isinstance(share_index, int):
             return
-        session.partials.setdefault(share_index, (tuple(qual), value))
+        try:
+            qual_tuple = tuple(qual)
+        except TypeError:
+            return  # a corrupted body can carry a non-iterable here
+        if not all(type(d) is int for d in qual_tuple):
+            return  # non-int dealer ids could not name any dealing
+        session.partials.setdefault(share_index, (qual_tuple, value))
 
     # -- outbound steps ----------------------------------------------------------
 
@@ -314,6 +339,7 @@ class ThresholdSigner:
             commitment=dealing.commitment,
             my_share_value=dealing.shares[self.state.share_index - 1].value,
         )
+        session.version += 1
         for receiver in range(public.n):
             if receiver == ctx.node_id:
                 continue
@@ -397,6 +423,15 @@ class ThresholdSigner:
     # -- combination --------------------------------------------------------------
 
     def _group_nonce(self, session: _Session, qual: tuple[int, ...]) -> int:
+        """``R = Π_{d ∈ qual} g^{d_i}`` from the dealers' public constants.
+
+        Raises on duplicate dealers: a repeated entry would double-count
+        that dealer's nonce, yielding an ``R`` no honest partial was
+        computed against.  Wire-supplied qualified sets are screened in
+        :meth:`_verify_partials` before this is reached.
+        """
+        if len(set(qual)) != len(qual):
+            raise ValueError(f"duplicate dealers in qualified set {qual!r}")
         group = self.state.public.group
         acc = group.identity
         for dealer in qual:
@@ -406,28 +441,115 @@ class ThresholdSigner:
     def _verify_partial(
         self, session: _Session, share_index: int, qual: tuple[int, ...], value: int
     ) -> bool:
+        """Publicly verify one partial: ``g^s == nonce_image(j) · key_image(j)^e``."""
+        return self._verify_partials(
+            _session_id(session.message_bytes), session, [(share_index, qual, value)]
+        )[0]
+
+    def _verify_partials(
+        self,
+        sid: str,
+        session: _Session,
+        items: list[tuple[int, tuple[int, ...], int]],
+    ) -> list[bool]:
+        """Per-item verdicts for a batch of ``(share_index, qual, value)``.
+
+        Pre-checks run per item in order: an out-of-range evaluation point
+        (``x ≤ 0`` would be the secret constant itself) or a duplicated
+        dealer in the claimed qualified set is rejected with blame; a qual
+        naming dealings we have not (yet) received is rejected *without*
+        blame — the dealings may still arrive.  The surviving equations
+        are checked with one random-linear-combination equation
+        (coefficients by Fiat–Shamir over the whole batch, mirroring
+        :meth:`~repro.crypto.schnorr.SchnorrScheme.batch_verify`); on
+        batch failure the fallback re-checks each emitter individually, so
+        blame attribution is identical to the unbatched path.
+        """
+        if not items:
+            return []
         group = self.state.public.group
-        if any(d not in session.dealings for d in qual):
-            return False
-        commitment_r = self._group_nonce(session, qual)
-        challenge = self.scheme.challenge(
-            commitment_r, self.state.public.public_key, session.message_bytes
-        )
-        nonce_image = group.identity
-        for dealer in qual:
-            nonce_image = group.multiply(
-                nonce_image,
-                session.dealings[dealer].commitment.share_image(group, share_index),
+        n = self.state.public.n
+        verdicts = [False] * len(items)
+        # (position, share_index, value, rhs = nonce_image * key_image^e)
+        checkable: list[tuple[int, int, int, int]] = []
+        for position, (share_index, qual, value) in enumerate(items):
+            if not isinstance(share_index, int):
+                continue  # not attributable to any emitter index
+            if not (1 <= share_index <= n):
+                self.rejected_partials.add((sid, share_index))
+                continue
+            if len(set(qual)) != len(qual):
+                self.rejected_partials.add((sid, share_index))
+                continue
+            if any(d not in session.dealings for d in qual):
+                continue  # missing dealings: unverifiable for now, no blame
+            commitment_r = self._group_nonce(session, qual)
+            challenge = self.scheme.challenge(
+                commitment_r, self.state.public.public_key, session.message_bytes
             )
-        key_image = self.state.key_commitment.share_image(group, share_index)
-        lhs = group.base_power(value)
-        rhs = group.multiply(nonce_image, group.power(key_image, challenge))
-        return lhs == rhs
+            nonce_image = group.identity
+            for dealer in qual:
+                nonce_image = group.multiply(
+                    nonce_image,
+                    session.dealings[dealer].commitment.share_image(group, share_index),
+                )
+            key_image = self.state.key_commitment.share_image(group, share_index)
+            rhs = group.multiply(nonce_image, group.power(key_image, challenge))
+            checkable.append((position, share_index, value, rhs))
+        cfg = perf_config()
+        if len(checkable) >= 2 and cfg.enabled and cfg.partial_batch:
+            q = group.q
+            transcript = tagged_hash(
+                _PBATCH_TAG,
+                session.message_bytes,
+                *(
+                    encode_for_hash((share_index, value, rhs))
+                    for _, share_index, value, rhs in checkable
+                ),
+            )
+            value_total = 0
+            rhs_total = group.identity
+            for index, (_, _share_index, value, rhs) in enumerate(checkable):
+                c = 1 + hash_to_int(_PBATCH_TAG, q - 1, transcript, index)
+                value_total = (value_total + c * value) % q
+                rhs_total = group.multiply(rhs_total, group.power(rhs, c))
+            if group.base_power(value_total) == rhs_total:
+                for position, _, _, _ in checkable:
+                    verdicts[position] = True
+                return verdicts
+        for position, share_index, value, rhs in checkable:
+            valid = group.base_power(value) == rhs
+            verdicts[position] = valid
+            if not valid:
+                self.rejected_partials.add((sid, share_index))
+        return verdicts
 
     def _try_combine(self, sid: str, session: _Session) -> None:
+        cfg = perf_config()
+        use_memo = cfg.enabled and cfg.partial_batch
+        key_commitment = self.state.key_commitment
+        pending: list[tuple[int, tuple[int, ...], int]] = []
+        verdicts: dict[int, bool] = {}
+        for share_index, (qual, value) in session.partials.items():
+            if use_memo:
+                memo = session.verify_memo.get(share_index)
+                if (
+                    memo is not None
+                    and memo[0] == session.version
+                    and memo[1] is key_commitment
+                ):
+                    verdicts[share_index] = memo[2]
+                    continue
+            pending.append((share_index, qual, value))
+        for (share_index, _qual, _value), verdict in zip(
+            pending, self._verify_partials(sid, session, pending)
+        ):
+            verdicts[share_index] = verdict
+            if use_memo:
+                session.verify_memo[share_index] = (session.version, key_commitment, verdict)
         by_qual: dict[tuple[int, ...], list[tuple[int, int]]] = {}
         for share_index, (qual, value) in session.partials.items():
-            if self._verify_partial(session, share_index, qual, value):
+            if verdicts[share_index]:
                 by_qual.setdefault(qual, []).append((share_index, value))
         needed = self.state.public.threshold + 1
         field = self.state.public.group.scalar_field
@@ -459,4 +581,9 @@ def verify_pds_signature_bytes(public, message_bytes: bytes, signature: Any) -> 
 def _share_at(x: int, value: int):
     from repro.crypto.shamir import Share
 
+    if not isinstance(x, int) or x < 1:
+        # f(0) is the shared secret itself; negative points are never valid
+        # protocol indices.  Raising here keeps a coding error from quietly
+        # evaluating commitments at the secret's own point.
+        raise ValueError(f"share evaluation point must be a positive int, got {x!r}")
     return Share(x=x, value=value)

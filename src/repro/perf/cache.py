@@ -46,6 +46,9 @@ __all__ = [
     "invalidate_verify_key",
     "CanonicalKeyCache",
     "canonical_body_key",
+    "canonical_encoding",
+    "canonical_key_fn",
+    "canonical_probe",
 ]
 
 
@@ -267,3 +270,73 @@ def canonical_body_key(body: Any) -> Hashable:
     if not (cfg.enabled and cfg.canonical_cache):
         return _encode_or_repr(body)
     return _CANONICAL.get(body, _encode_or_repr)
+
+
+def canonical_encoding(body: Any) -> bytes:
+    """``encode_for_hash(body)``, memoized by object identity.
+
+    Shares :class:`CanonicalKeyCache` entries with
+    :func:`canonical_body_key`: for encodable bodies the cached value *is*
+    the canonical encoding, so signing paths (which need the raw bytes,
+    not just a dedup key) reuse the same memo.  Unencodable bodies raise
+    ``TypeError`` exactly like ``encode_for_hash`` — the cached ``repr``
+    fallback is a ``str``, never ``bytes``, so the type check below is an
+    exact encodability test.
+    """
+    key = canonical_body_key(body)
+    if type(key) is bytes:
+        return key
+    raise TypeError(f"cannot encode {type(body).__name__} for hashing")
+
+
+def canonical_key_fn() -> Callable[[Any], Hashable]:
+    """A resolver bound to the current flag state, for per-round hot loops.
+
+    ``canonical_body_key`` re-reads the perf flags on every call; DISPERSE
+    keys every envelope it touches several times per round, so the flood
+    loop fetches one bound callable per round instead.  The returned
+    function computes byte-identical keys either way; it must not be held
+    across a :func:`repro.perf.config.configure` call.
+    """
+    cfg = perf_config()
+    if not (cfg.enabled and cfg.canonical_cache):
+        return _encode_or_repr
+    entries = _CANONICAL._entries
+    cache = _CANONICAL
+
+    def resolve(body: Any) -> Hashable:
+        entry = entries.get(id(body))
+        if entry is not None and entry[0] is body:
+            cache.hits += 1
+            return entry[1]
+        cache.misses += 1
+        value = _encode_or_repr(body)
+        cache.put(body, value)
+        return value
+
+    return resolve
+
+
+def canonical_probe() -> tuple[dict[int, tuple[Any, Any]], Callable[[Any], Hashable]]:
+    """``(entries, miss)`` for loops that inline the memo probe itself.
+
+    The caller probes ``entries.get(id(body))`` and, after the identity
+    check ``entry[0] is body``, uses ``entry[1]``; on a miss it calls
+    ``miss(body)``, which computes, records and returns the key.  With the
+    cache off the returned dict is empty and never written, so every probe
+    falls through to a plain computation — same bytes, no memo.  Inlined
+    hits bypass the hit counter (only ``misses`` stays exact); like
+    :func:`canonical_key_fn`, the pair must not be held across a
+    ``configure()`` call.
+    """
+    cfg = perf_config()
+    if not (cfg.enabled and cfg.canonical_cache):
+        return {}, _encode_or_repr
+
+    def miss(body: Any) -> Hashable:
+        _CANONICAL.misses += 1
+        value = _encode_or_repr(body)
+        _CANONICAL.put(body, value)
+        return value
+
+    return _CANONICAL._entries, miss

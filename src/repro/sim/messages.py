@@ -13,46 +13,75 @@ the paper's parallel protocol copies (§4.2.3 step 3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
 from typing import Any
 
 __all__ = ["Envelope"]
 
 
-@dataclass(frozen=True)
 class Envelope:
-    """One message on one link."""
+    """One message on one link.
 
-    sender: int
-    receiver: int
-    channel: str
-    payload: Any
-    round_sent: int
+    A plain ``__slots__`` class rather than a dataclass: full floods
+    create one envelope per (sender, relay hop, receiver) per round —
+    hundreds of thousands at E8 scale — so per-instance ``__dict__``
+    allocation and generated-dataclass dispatch are measurable.  The
+    class keeps dataclass semantics (positional/keyword construction,
+    field-tuple equality, memoized hash) and is immutable by convention:
+    every mutation site in the codebase goes through :meth:`redirect` /
+    :meth:`with_payload`, which copy.
+    """
+
+    __slots__ = ("sender", "receiver", "channel", "payload", "round_sent", "_hash")
+
+    def __init__(
+        self, sender: int, receiver: int, channel: str, payload: Any, round_sent: int
+    ) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.channel = channel
+        self.payload = payload
+        self.round_sent = round_sent
+        # The runner's linear-time link accounting (Definition 4) may put
+        # an envelope in a Counter twice per round; payloads are deep
+        # tuples, so the hash is memoized on first use.  Raises TypeError
+        # for unhashable payloads — the runner falls back to multiset
+        # comparison then.
+        self._hash: int | None = None
 
     def __hash__(self) -> int:
-        # The runner's linear-time link accounting (Definition 4) puts
-        # every envelope in a Counter twice per round; payloads are deep
-        # tuples, so the hash is memoized on first use.  Raises TypeError
-        # for unhashable payloads, like the generated hash would — the
-        # runner falls back to multiset comparison then.  (Defining
-        # __hash__ explicitly keeps @dataclass from generating one; the
-        # memo slot lives in __dict__, which frozen instances may touch.)
-        cached = self.__dict__.get("_hash")
+        cached = self._hash
         if cached is None:
-            cached = hash(
+            cached = self._hash = hash(
                 (self.sender, self.receiver, self.channel, self.payload, self.round_sent)
             )
-            self.__dict__["_hash"] = cached
         return cached
+
+    def __eq__(self, other: object) -> Any:
+        if other.__class__ is Envelope:
+            return (
+                self.sender == other.sender
+                and self.receiver == other.receiver
+                and self.channel == other.channel
+                and self.round_sent == other.round_sent
+                and self.payload == other.payload
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"Envelope(sender={self.sender!r}, receiver={self.receiver!r}, "
+            f"channel={self.channel!r}, payload={self.payload!r}, "
+            f"round_sent={self.round_sent!r})"
+        )
 
     def redirect(self, receiver: int) -> "Envelope":
         """Copy of this envelope addressed to a different node (used by
         adversaries that duplicate or misroute traffic)."""
-        return replace(self, receiver=receiver)
+        return Envelope(self.sender, receiver, self.channel, self.payload, self.round_sent)
 
     def with_payload(self, payload: Any) -> "Envelope":
         """Copy with a modified payload (adversarial tampering)."""
-        return replace(self, payload=payload)
+        return Envelope(self.sender, self.receiver, self.channel, payload, self.round_sent)
 
     def describe(self) -> str:
         """Short human-readable form for logs."""

@@ -58,14 +58,27 @@ class NodeContext:
         if not (0 <= receiver < self.n):
             raise ValueError(f"receiver {receiver} out of range")
         self.outbox.append(
-            Envelope(
-                sender=self.node_id,
-                receiver=receiver,
-                channel=channel,
-                payload=payload,
-                round_sent=self.info.round,
-            )
+            Envelope(self.node_id, receiver, channel, payload, self.info.round)
         )
+
+    def fanout(self, receivers: list[int], channel: str, payload: Any) -> None:
+        """Queue the same payload for several receivers.
+
+        Semantically identical to calling :meth:`send` once per receiver
+        (same validation, same outbox order); exists because flood-style
+        protocols queue hundreds of thousands of envelopes per run and the
+        per-call attribute traffic of ``send`` is measurable at that scale.
+        """
+        node_id = self.node_id
+        n = self.n
+        round_number = self.info.round
+        append = self.outbox.append
+        for receiver in receivers:
+            if receiver == node_id:
+                raise ValueError("no self-links; handle local delivery in the program")
+            if not (0 <= receiver < n):
+                raise ValueError(f"receiver {receiver} out of range")
+            append(Envelope(node_id, receiver, channel, payload, round_number))
 
     def broadcast(self, channel: str, payload: Any) -> None:
         """Send the same payload to every other node (n-1 point-to-point

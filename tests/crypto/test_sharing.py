@@ -130,3 +130,50 @@ def test_feldman_share_image_matches_base_power():
     dealing = dealer.deal(55, random.Random(8))
     for share in dealing.shares:
         assert dealing.commitment.share_image(GROUP, share.x) == GROUP.base_power(share.value)
+
+
+def test_feldman_combine_rejects_mismatched_degree_bounds():
+    """Combining a degree-t commitment with a shorter (or longer) vector
+    must fail loudly: identity-padding a short adversarial dealing would
+    silently lower the combined sharing's degree."""
+    from repro.crypto.feldman import FeldmanCommitment
+
+    t2 = FeldmanDealer(GROUP, n=5, threshold=2).deal(7, random.Random(10)).commitment
+    t1 = FeldmanDealer(GROUP, n=5, threshold=1).deal(7, random.Random(11)).commitment
+    with pytest.raises(ValueError, match="degree bound mismatch"):
+        t2.combine(GROUP, t1)
+    with pytest.raises(ValueError, match="degree bound mismatch"):
+        t1.combine(GROUP, t2)
+    # equal degrees still combine
+    other = FeldmanDealer(GROUP, n=5, threshold=2).deal(8, random.Random(12)).commitment
+    assert t2.combine(GROUP, other).degree_bound == 2
+    # a truncated copy of a valid commitment is rejected, not padded
+    truncated = FeldmanCommitment(elements=t2.elements[:-1])
+    with pytest.raises(ValueError, match="degree bound mismatch"):
+        t2.combine(GROUP, truncated)
+
+
+def test_feldman_verify_zero_dealing_rejects_wrong_degree():
+    """A zero constant term alone is not enough: the dealing must also
+    have degree exactly t, or the refreshed sharing's reconstruction
+    threshold would change."""
+    from repro.crypto.feldman import FeldmanCommitment
+
+    dealer = FeldmanDealer(GROUP, n=5, threshold=2)
+    zero = dealer.deal_zero(random.Random(13)).commitment
+    assert dealer.verify_zero_dealing(zero)
+    padded = FeldmanCommitment(elements=zero.elements + (GROUP.identity,))
+    truncated = FeldmanCommitment(elements=zero.elements[:-1])
+    assert not dealer.verify_zero_dealing(padded)
+    assert not dealer.verify_zero_dealing(truncated)
+    # degree-t sharing of zero from a lower-threshold dealer: right length
+    # but dealt by the wrong dealer parameters -> judged purely by shape
+    low = FeldmanDealer(GROUP, n=5, threshold=1)
+    assert not dealer.verify_zero_dealing(low.deal_zero(random.Random(14)).commitment)
+
+
+def test_feldman_verify_zero_dealing_rejects_nonzero_constant():
+    dealer = FeldmanDealer(GROUP, n=5, threshold=2)
+    nonzero = dealer.deal(1, random.Random(15)).commitment
+    assert nonzero.degree_bound == dealer.threshold  # right shape ...
+    assert not dealer.verify_zero_dealing(nonzero)   # ... wrong secret

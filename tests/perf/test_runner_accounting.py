@@ -141,7 +141,7 @@ def test_unhashable_payload_direction_falls_back():
 def test_envelope_hash_is_memoized_and_stable():
     envelope = Envelope(0, 1, "c", ("m", 2), 1)
     first = hash(envelope)
-    assert envelope.__dict__["_hash"] == first
+    assert envelope._hash == first
     assert hash(envelope) == first
     twin = Envelope(0, 1, "c", ("m", 2), 1)
     assert hash(twin) == first and twin == envelope
@@ -151,4 +151,4 @@ def test_envelope_unhashable_payload_raises():
     envelope = Envelope(0, 1, "c", ["m"], 1)
     with pytest.raises(TypeError):
         hash(envelope)
-    assert "_hash" not in envelope.__dict__
+    assert envelope._hash is None

@@ -1,0 +1,70 @@
+"""Rotation-bucket invalidation of the share-image cache.
+
+``PdsNodeState.install_share`` must drop the superseded commitment's
+whole bucket: memoized images (and fixed-base windows) of the
+pre-refresh sharing must never serve the refreshed key.
+"""
+
+import random
+
+from repro.crypto.feldman import FeldmanDealer
+from repro.crypto.group import named_group
+from repro.crypto.shamir import Share
+from repro.pds.keys import deal_initial_states
+from repro.perf.share_image import share_image_cache, share_image_value
+
+GROUP = named_group("toy64")
+N, T = 5, 2
+
+
+def _refreshed(state, rng):
+    """A Herzberg refresh of ``state``: combine with a zero dealing."""
+    dealer = FeldmanDealer(GROUP, n=N, threshold=T)
+    zero = dealer.deal_zero(rng)
+    new_commitment = state.key_commitment.combine(GROUP, zero.commitment)
+    zero_share = zero.shares[state.node_id]
+    new_share = Share(
+        x=state.share.x,
+        value=(state.share.value + zero_share.value) % GROUP.q,
+    )
+    return new_share, new_commitment
+
+
+def test_install_share_drops_old_rotation_bucket(perf):
+    rng = random.Random(21)
+    public, states = deal_initial_states(GROUP, n=N, threshold=T, rng=rng)
+    state = states[0]
+    old = state.key_commitment
+    cache = share_image_cache()
+
+    # warm the old commitment's bucket from every verifier's viewpoint
+    for x in range(1, N + 1):
+        share_image_value(GROUP, old.elements, x)
+    assert cache.has_bucket(GROUP, old.elements)
+
+    new_share, new_commitment = _refreshed(state, rng)
+    state.install_share(new_share, new_commitment, unit=1)
+
+    assert not cache.has_bucket(GROUP, old.elements)
+    # the refreshed sharing computes fresh, correct images
+    image = share_image_value(GROUP, new_commitment.elements, new_share.x)
+    assert image == GROUP.base_power(new_share.value)
+    assert new_commitment.verify_share(GROUP, new_share)
+
+
+def test_reinstalling_same_commitment_keeps_bucket(perf):
+    rng = random.Random(22)
+    public, states = deal_initial_states(GROUP, n=N, threshold=T, rng=rng)
+    state = states[1]
+    commitment = state.key_commitment
+    cache = share_image_cache()
+
+    share_image_value(GROUP, commitment.elements, state.share.x)
+    assert cache.has_bucket(GROUP, commitment.elements)
+    hits_before = cache.hits
+
+    # a recovery path may re-install the very same sharing; its memo stays
+    state.install_share(state.share, commitment, unit=0, kind="recovery")
+    assert cache.has_bucket(GROUP, commitment.elements)
+    share_image_value(GROUP, commitment.elements, state.share.x)
+    assert cache.hits == hits_before + 1
