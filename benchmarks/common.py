@@ -11,16 +11,15 @@ Run with ``pytest benchmarks/ --benchmark-only``.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import pathlib
 from typing import Any, Sequence
 
+from repro.analysis.digest import stable_form as _stable, transcript_digest
 from repro.core.uls import UlsProgram, build_uls_states, uls_schedule
 from repro.crypto.group import named_group
 from repro.crypto.schnorr import SchnorrScheme
 from repro.sim.adversary_api import PassiveAdversary
-from repro.sim.messages import Envelope
 from repro.sim.runner import ULRunner
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -83,51 +82,9 @@ def _jsonable(cell: Any) -> Any:
     return str(cell)
 
 
-def _stable(value):
-    """A canonical, process-independent form of transcript values.
-
-    Sets are sorted (frozenset iteration order depends on
-    PYTHONHASHSEED, which differs between worker processes), dicts are
-    sorted by key, envelopes are flattened; everything else keeps its
-    deterministic ``repr``.
-    """
-    if isinstance(value, Envelope):
-        return ("Env", value.sender, value.receiver, value.channel,
-                _stable(value.payload), value.round_sent)
-    if isinstance(value, (set, frozenset)):
-        return ("set",) + tuple(sorted((_stable(v) for v in value), key=repr))
-    if isinstance(value, dict):
-        return ("dict",) + tuple(
-            sorted(((_stable(k), _stable(v)) for k, v in value.items()), key=repr)
-        )
-    if isinstance(value, (tuple, list)):
-        return tuple(_stable(v) for v in value)
-    return value
-
-
-def transcript_digest(execution) -> str:
-    """SHA-256 over the full execution transcript in canonical form.
-
-    The E8 and E14 benchmarks both hash transcripts with this to assert
-    the perf layer is transcript-neutral (layer-on and layer-off runs of
-    the same seed must digest identically)."""
-    payload = (
-        [
-            (
-                record.info,
-                _stable(record.sent),
-                _stable(record.delivered),
-                _stable(record.broken),
-                _stable(record.operational),
-                _stable(record.unreliable_links),
-            )
-            for record in execution.records
-        ],
-        _stable(execution.system_log),
-        _stable(execution.node_outputs),
-        _stable(execution.adversary_output),
-    )
-    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+# _stable / transcript_digest now live in repro.analysis.digest (the E15
+# campaign layer needs them inside the package); re-exported above so the
+# E8/E14 benchmarks keep their import path.
 
 
 def build_uls_network(n: int, t: int, seed: int, adversary=None, relay_fanout=None,

@@ -7,9 +7,15 @@
 - :mod:`repro.analysis.monitor` — the same invariants evaluated
   *during* the run (attach to a runner as an observer; fail-fast).
 - :mod:`repro.analysis.metrics` — message/alert/availability statistics.
+- :mod:`repro.analysis.digest` — canonical transcript digests (the
+  determinism-replay primitive).
+- :mod:`repro.analysis.slo` — recovery-SLO telemetry (time-to-recovery,
+  alert latency, degraded dwell, signing availability).
 """
 
 from repro.analysis.awareness import GlobalAwarenessReport, global_awareness
+from repro.analysis.digest import stable_form, transcript_digest
+from repro.analysis.slo import RecoverySloObserver
 from repro.analysis.emulation import EmulationReport, check_emulation_invariants
 from repro.analysis.goodness import ForgedMessage, GoodnessReport, classify_execution
 from repro.analysis.monitor import (
@@ -43,4 +49,7 @@ __all__ = [
     "delivery_rate",
     "message_stats",
     "recovery_units",
+    "RecoverySloObserver",
+    "stable_form",
+    "transcript_digest",
 ]

@@ -1,0 +1,61 @@
+"""Canonical transcript digests for determinism replay checks.
+
+A transcript digest is a SHA-256 over the full
+:class:`~repro.sim.transcript.Execution` — round records, system log,
+node outputs and adversary output — in a *canonical, process-independent*
+form: sets are sorted (frozenset iteration order depends on
+``PYTHONHASHSEED``), dicts are sorted by key, envelopes are flattened.
+Two runs digest identically iff they produced bit-identical transcripts.
+
+This is the primitive behind every determinism claim in the repo: the E8
+and E14 benchmarks hash layer-on vs layer-off runs with it (via the
+``benchmarks/common.py`` re-export), and the adaptive chaos campaigns
+(:mod:`repro.faults.campaign`, experiment E15) hash replayed campaign
+runs to prove that the same campaign seed reproduces every per-run
+transcript exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.sim.messages import Envelope
+
+__all__ = ["stable_form", "transcript_digest"]
+
+
+def stable_form(value):
+    """A canonical, process-independent form of transcript values."""
+    if isinstance(value, Envelope):
+        return ("Env", value.sender, value.receiver, value.channel,
+                stable_form(value.payload), value.round_sent)
+    if isinstance(value, (set, frozenset)):
+        return ("set",) + tuple(sorted((stable_form(v) for v in value), key=repr))
+    if isinstance(value, dict):
+        return ("dict",) + tuple(
+            sorted(((stable_form(k), stable_form(v)) for k, v in value.items()), key=repr)
+        )
+    if isinstance(value, (tuple, list)):
+        return tuple(stable_form(v) for v in value)
+    return value
+
+
+def transcript_digest(execution) -> str:
+    """SHA-256 over the full execution transcript in canonical form."""
+    payload = (
+        [
+            (
+                record.info,
+                stable_form(record.sent),
+                stable_form(record.delivered),
+                stable_form(record.broken),
+                stable_form(record.operational),
+                stable_form(record.unreliable_links),
+            )
+            for record in execution.records
+        ],
+        stable_form(execution.system_log),
+        stable_form(execution.node_outputs),
+        stable_form(execution.adversary_output),
+    )
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()

@@ -1,0 +1,370 @@
+"""Online ``(s,t)``-budget enforcement for adaptive fault strategies.
+
+A static :meth:`~repro.faults.plan.FaultPlan.generate` schedule is
+``(s,t)``-limited *by construction*; an adaptive strategy that chooses
+faults online (:mod:`repro.faults.adaptive`) has no such construction to
+lean on.  :class:`StBudgetGuard` restores the guarantee: every strategy
+routes its :class:`FaultRequest`\\ s through :meth:`StBudgetGuard.project`,
+which **projects the requested fault set onto the legal space** — it
+clamps windows into the safe sub-intervals, admits victims only while the
+per-unit budget has room, and denies everything else — so no strategy,
+however aggressive, can exceed Definition 7.  The post-hoc
+:func:`repro.adversary.limits.audit_st_limited` stays the source of
+truth; the guard's job is to make it pass by construction.
+
+Invariants enforced (mirroring ``FaultPlan.generate``):
+
+- **victim budget** — at most ``min(t, max_victims_per_unit)`` distinct
+  victims are charged per time unit; every node- or link-fault target
+  counts, whether or not the faults end up actually impairing it
+  (charging is conservative).
+- **recovery margin** — normal-round faults are clamped to
+  ``[first_normal, last_normal - 1]`` with crash/link starts no later
+  than ``last_normal - 2``, so every victim steps through the following
+  refreshment phase from its first round and recovers (Def. 5.3).
+- **collateral bound** — a non-victim never accumulates ``s`` faulted
+  links in one unit (at most ``s - 1``), so only charged victims can
+  become s-disconnected; link faults are refused entirely when
+  ``s < 2``.
+- **refreshment-phase carry-over** — link faults *may* target a unit's
+  refreshment phase (that is how the certificate-starver attacks
+  CERTIFY/NEWKEY traffic), but a refresh victim misses that phase's
+  recovery and stays impaired through the *next* unit's refreshment
+  phase.  The guard therefore charges refresh victims against both
+  units: ``|victims(u-1) ∪ refresh_victims(u)| <= min(t, s)`` — the
+  ``s`` bound keeps ``n - s`` clean helpers available so every
+  recovering node actually re-enters at the phase's end.  Node faults
+  during a refreshment phase are always denied.
+
+Projection is **order-sensitive and first-come-first-served**: requests
+are processed in the order given, so strategies put their
+highest-priority faults first.  Everything the guard does is recorded in
+a :class:`ProjectionReport` (per-reason denial counts, clamp count,
+charged victims) that the adaptive adversary publishes into the
+transcript for post-hoc analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.faults.plan import (
+    CrashFault,
+    DelayFault,
+    DropFault,
+    DuplicateFault,
+    MemoryCorruptionFault,
+)
+from repro.sim.clock import Schedule
+
+__all__ = ["FaultRequest", "ProjectionReport", "StBudgetGuard", "requests_to_faults"]
+
+NODE_KINDS = ("crash", "corrupt")
+LINK_KINDS = ("drop", "duplicate", "delay")
+MAX_DELAY = 3   # mirrors FaultPlan.generate's bounded-delay cap
+MAX_COPIES = 3
+
+
+@dataclass(frozen=True)
+class FaultRequest:
+    """One fault an adaptive strategy would like to inject.
+
+    ``first_round``/``last_round`` may be ``None`` — the guard then picks
+    the widest legal window for the requested ``phase``.  ``peer`` is
+    required for link kinds and ignored for node kinds.
+    """
+
+    kind: str                               # crash|corrupt|drop|duplicate|delay
+    victim: int
+    peer: int | None = None
+    first_round: int | None = None
+    last_round: int | None = None
+    phase: str = "normal"                   # "normal" | "refresh"
+    probability: float = 1.0
+    channels: frozenset[str] | None = None
+    copies: int = 1
+    delay: int = 1
+
+
+@dataclass
+class ProjectionReport:
+    """What survived projecting one unit's requests onto the legal space."""
+
+    unit: int
+    requested: int = 0
+    clamped: int = 0
+    denied: dict[str, int] = field(default_factory=dict)
+    victims: frozenset[int] = frozenset()
+    crashes: tuple[CrashFault, ...] = ()
+    corruptions: tuple[MemoryCorruptionFault, ...] = ()
+    drops: tuple[DropFault, ...] = ()
+    duplications: tuple[DuplicateFault, ...] = ()
+    delays: tuple[DelayFault, ...] = ()
+
+    @property
+    def approved(self) -> int:
+        return (len(self.crashes) + len(self.corruptions) + len(self.drops)
+                + len(self.duplications) + len(self.delays))
+
+    @property
+    def denied_total(self) -> int:
+        return sum(self.denied.values())
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (goes into the adversary output)."""
+        return {
+            "unit": self.unit,
+            "requested": self.requested,
+            "approved": self.approved,
+            "denied": dict(sorted(self.denied.items())),
+            "clamped": self.clamped,
+            "victims": sorted(self.victims),
+        }
+
+
+class StBudgetGuard:
+    """Online Definition 7 budget accounting (see module docstring).
+
+    One guard instance accompanies one run; units must be projected in
+    non-decreasing order (the adaptive adversary does so naturally).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        schedule: Schedule,
+        *,
+        s: int | None = None,
+        max_victims_per_unit: int | None = None,
+    ) -> None:
+        if t < 0:
+            raise ValueError("t must be >= 0")
+        self.n = n
+        self.t = t
+        self.s = t if s is None else s
+        self.schedule = schedule
+        self.cap = min(t, max_victims_per_unit) if max_victims_per_unit else t
+        self.refresh_cap = min(self.cap, self.s)
+        self._victims: dict[int, set[int]] = {}
+        self._refresh_victims: dict[int, set[int]] = {}
+        self._peer_load: dict[int, dict[int, int]] = {}
+        self._last_unit: int | None = None
+        self.reports: list[ProjectionReport] = []
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def victims_of(self, unit: int) -> frozenset[int]:
+        return frozenset(self._victims.get(unit, ()))
+
+    def reserve_victims(self, unit: int, nodes: Iterable[int]) -> None:
+        """Charge externally-caused victims (e.g. a composed base
+        adversary's break-ins) against ``unit``'s budget, so the guard's
+        own admissions leave room for them."""
+        self._victims.setdefault(unit, set()).update(nodes)
+
+    # -- projection ------------------------------------------------------------
+
+    def project(self, unit: int, requests: Iterable[FaultRequest]) -> ProjectionReport:
+        """Project one unit's requests onto the legal fault space."""
+        if self._last_unit is not None and unit < self._last_unit:
+            raise ValueError(f"units must be projected in order "
+                             f"(got {unit} after {self._last_unit})")
+        self._last_unit = unit
+        report = ProjectionReport(unit=unit)
+        victims = self._victims.setdefault(unit, set())
+        refresh_victims = self._refresh_victims.setdefault(unit, set())
+        prev = frozenset(self._victims.get(unit - 1, ()))
+        load = self._peer_load.setdefault(unit, {})
+
+        first_normal = self.schedule.first_normal_round(unit)
+        last_normal = first_normal + self.schedule.normal_rounds - 1
+        crashes: list[CrashFault] = []
+        corruptions: list[MemoryCorruptionFault] = []
+        drops: list[DropFault] = []
+        duplications: list[DuplicateFault] = []
+        delays: list[DelayFault] = []
+
+        def deny(reason: str) -> None:
+            report.denied[reason] = report.denied.get(reason, 0) + 1
+
+        def admit(victim: int, *, refresh: bool) -> bool:
+            """Charge ``victim`` against the unit's budget (both budgets
+            for refresh-phase victims); False when no room is left."""
+            if len(victims | {victim}) > self.cap:
+                return False
+            if refresh and len(prev | refresh_victims | {victim}) > self.refresh_cap:
+                return False
+            victims.add(victim)
+            if refresh:
+                refresh_victims.add(victim)
+            return True
+
+        def clamp(value: int | None, lo: int, hi: int, default: int) -> int:
+            if value is None:
+                return default
+            clamped = max(lo, min(hi, value))
+            if clamped != value:
+                report.clamped += 1
+            return clamped
+
+        for request in requests:
+            report.requested += 1
+            if request.kind not in NODE_KINDS + LINK_KINDS:
+                deny("unknown-kind")
+                continue
+            if not (0 <= request.victim < self.n):
+                deny("victim-out-of-range")
+                continue
+            if self.cap < 1:
+                deny("victim-budget")
+                continue
+
+            if request.kind in NODE_KINDS:
+                if request.phase == "refresh":
+                    deny("refresh-node-fault")
+                    continue
+                if last_normal - first_normal < 3:
+                    deny("unit-too-short")  # no room for safe margins
+                    continue
+                if not admit(request.victim, refresh=False):
+                    deny("victim-budget")
+                    continue
+                if request.kind == "crash":
+                    first = clamp(request.first_round, first_normal,
+                                  last_normal - 2, first_normal)
+                    last = clamp(request.last_round, first, last_normal - 1,
+                                 last_normal - 1)
+                    crashes.append(CrashFault(node=request.victim,
+                                              first_round=first, last_round=last))
+                else:
+                    rnd = clamp(request.first_round, first_normal,
+                                last_normal - 1, first_normal)
+                    corruptions.append(MemoryCorruptionFault(node=request.victim,
+                                                             round=rnd))
+                continue
+
+            # link kinds
+            if self.s < 2:
+                deny("s-too-small")  # one bad link would already disconnect
+                continue
+            peer = request.peer
+            if peer is None or not (0 <= peer < self.n) or peer == request.victim:
+                deny("bad-peer")
+                continue
+            refresh = request.phase == "refresh"
+            if refresh:
+                if unit < 1:
+                    deny("no-refresh-phase")
+                    continue
+                if peer in prev:
+                    # a recovering node's phase links must stay clean or it
+                    # would miss its own re-admission (Def. 5.3)
+                    deny("peer-recovering")
+                    continue
+                window_lo = self.schedule.refresh_start(unit)
+                window_hi = window_lo + self.schedule.refresh_rounds - 1
+                first_hi = window_hi
+            else:
+                if last_normal - first_normal < 3:
+                    deny("unit-too-short")
+                    continue
+                window_lo, window_hi = first_normal, last_normal - 1
+                first_hi = last_normal - 2
+            peer_is_victim = peer in victims
+            if not peer_is_victim and load.get(peer, 0) >= self.s - 1:
+                deny("collateral-budget")
+                continue
+            if not admit(request.victim, refresh=refresh):
+                deny("victim-budget")
+                continue
+            if not peer_is_victim:
+                load[peer] = load.get(peer, 0) + 1
+            first = clamp(request.first_round, window_lo, first_hi, window_lo)
+            last = clamp(request.last_round, first, window_hi, window_hi)
+            probability = min(1.0, max(0.0, request.probability))
+            if probability != request.probability:
+                report.clamped += 1
+            link = frozenset((request.victim, peer))
+            if request.kind == "drop":
+                drops.append(DropFault(link=link, first_round=first, last_round=last,
+                                       probability=probability,
+                                       channels=request.channels))
+            elif request.kind == "duplicate":
+                duplications.append(DuplicateFault(
+                    link=link, first_round=first, last_round=last,
+                    copies=max(1, min(MAX_COPIES, request.copies)),
+                    probability=probability, channels=request.channels))
+            else:
+                delays.append(DelayFault(
+                    link=link, first_round=first, last_round=last,
+                    delay=max(1, min(MAX_DELAY, request.delay)),
+                    probability=probability, channels=request.channels))
+
+        report.victims = frozenset(victims)
+        report.crashes = tuple(crashes)
+        report.corruptions = tuple(corruptions)
+        report.drops = tuple(drops)
+        report.duplications = tuple(duplications)
+        report.delays = tuple(delays)
+        self.reports.append(report)
+        return report
+
+
+def requests_to_faults(
+    unit: int, requests: Iterable[FaultRequest], schedule: Schedule
+) -> ProjectionReport:
+    """Convert requests to faults **without any budget enforcement**.
+
+    The unguarded twin of :meth:`StBudgetGuard.project`: windows default
+    to the requested phase's full span but explicit rounds pass through
+    unclamped, and every request is approved.  This is how the campaign
+    layer's negative controls (and the failure-frontier search below the
+    guard) express "run the raw strategy and let the monitor judge it".
+    """
+    report = ProjectionReport(unit=unit)
+    first_normal = schedule.first_normal_round(unit)
+    last_normal = first_normal + schedule.normal_rounds - 1
+    crashes, corruptions, drops, duplications, delays = [], [], [], [], []
+    victims: set[int] = set()
+    for request in requests:
+        report.requested += 1
+        if request.phase == "refresh" and unit >= 1:
+            window_lo = schedule.refresh_start(unit)
+            window_hi = window_lo + schedule.refresh_rounds - 1
+        else:
+            window_lo, window_hi = first_normal, last_normal
+        first = window_lo if request.first_round is None else request.first_round
+        last = window_hi if request.last_round is None else request.last_round
+        victims.add(request.victim)
+        if request.kind == "crash":
+            crashes.append(CrashFault(node=request.victim,
+                                      first_round=first, last_round=last))
+        elif request.kind == "corrupt":
+            corruptions.append(MemoryCorruptionFault(node=request.victim, round=first))
+        elif request.kind in LINK_KINDS and request.peer is not None:
+            link = frozenset((request.victim, request.peer))
+            if request.kind == "drop":
+                drops.append(DropFault(link=link, first_round=first, last_round=last,
+                                       probability=request.probability,
+                                       channels=request.channels))
+            elif request.kind == "duplicate":
+                duplications.append(DuplicateFault(
+                    link=link, first_round=first, last_round=last,
+                    copies=request.copies, probability=request.probability,
+                    channels=request.channels))
+            else:
+                delays.append(DelayFault(
+                    link=link, first_round=first, last_round=last,
+                    delay=request.delay, probability=request.probability,
+                    channels=request.channels))
+        else:
+            report.denied["unknown-kind"] = report.denied.get("unknown-kind", 0) + 1
+    report.victims = frozenset(victims)
+    report.crashes = tuple(crashes)
+    report.corruptions = tuple(corruptions)
+    report.drops = tuple(drops)
+    report.duplications = tuple(duplications)
+    report.delays = tuple(delays)
+    return report

@@ -59,8 +59,15 @@ class FaultInjectionAdversary(Adversary):
 
     def begin(self, n: int, schedule: Schedule, rng: random.Random) -> None:
         super().begin(n, schedule, rng)
+        self.plan.validate(n=n)  # fail the run up front on malformed plans
         if self.base is not None:
             self.base.begin(n, schedule, rng)
+        # reset per-run state so the same adversary object replays
+        # identically when reused across runs
+        self.stats = dict.fromkeys(self.stats, 0)
+        self._crashed = set()
+        self._pending_leave = set()
+        self._held = {}
         self._rng = random.Random(mix_seed("fault-exec", self.plan.seed))
         self._corruptions_by_round: dict[int, list] = {}
         for fault in self.plan.corruptions:

@@ -229,6 +229,71 @@ class FaultPlan:
         body = "+".join(parts) if parts else "empty"
         return f"FaultPlan(seed={self.seed}, {body})"
 
+    # -- validation -----------------------------------------------------------
+
+    def validate(self, *, n: int | None = None, total_rounds: int | None = None) -> "FaultPlan":
+        """Reject malformed faults instead of letting them silently never fire.
+
+        Raises :class:`ValueError` on: inverted windows (``last_round <
+        first_round``), negative rounds, probabilities outside ``[0, 1]``,
+        non-positive ``copies``/``delay``, malformed links, and — when the
+        optional context is given — node ids outside ``[0, n)`` or windows
+        starting at/after ``total_rounds`` (the run horizon).  Returns
+        ``self`` so call sites can chain.  Called from
+        :meth:`FaultInjectionAdversary.begin <repro.faults.inject.FaultInjectionAdversary>`
+        at injection time, so a bad plan fails the run up front rather
+        than producing a quietly fault-free execution.
+        """
+        def bad(fault: object, reason: str) -> ValueError:
+            return ValueError(f"invalid {type(fault).__name__}: {reason} ({fault!r})")
+
+        def check_window(fault: object, first: int, last: int) -> None:
+            if last < first:
+                raise bad(fault, f"last_round {last} < first_round {first}")
+            if first < 0:
+                raise bad(fault, f"negative first_round {first}")
+            if total_rounds is not None and first >= total_rounds:
+                raise bad(fault, f"window starts at {first}, beyond the "
+                                 f"{total_rounds}-round horizon")
+
+        def check_node(fault: object, node: int) -> None:
+            if n is not None and not (0 <= node < n):
+                raise bad(fault, f"node {node} outside [0, {n})")
+
+        def check_link(fault: object) -> None:
+            if fault.link is not None:
+                if len(fault.link) != 2:
+                    raise bad(fault, "link must join two distinct nodes")
+                for endpoint in fault.link:
+                    check_node(fault, endpoint)
+            if not (0.0 <= fault.probability <= 1.0):
+                raise bad(fault, f"probability {fault.probability} outside [0, 1]")
+
+        for fault in self.crashes:
+            check_window(fault, fault.first_round, fault.last_round)
+            check_node(fault, fault.node)
+        for fault in self.corruptions:
+            check_window(fault, fault.round, fault.round)
+            check_node(fault, fault.node)
+        for fault in self.drops:
+            check_window(fault, fault.first_round, fault.last_round)
+            check_link(fault)
+        for fault in self.duplications:
+            check_window(fault, fault.first_round, fault.last_round)
+            check_link(fault)
+            if fault.copies < 1:
+                raise bad(fault, f"copies must be >= 1, got {fault.copies}")
+        for fault in self.delays:
+            check_window(fault, fault.first_round, fault.last_round)
+            check_link(fault)
+            if fault.delay < 1:
+                raise bad(fault, f"delay must be >= 1, got {fault.delay}")
+        for fault in self.reorders:
+            check_window(fault, fault.first_round, fault.last_round)
+            if fault.receiver is not None:
+                check_node(fault, fault.receiver)
+        return self
+
     # -- generation -----------------------------------------------------------
 
     @classmethod

@@ -1,0 +1,175 @@
+"""Campaign runner: timeouts, retries, frontier bisection, resumability."""
+
+import json
+
+import pytest
+
+from tests.helpers import EchoProgram
+from repro.analysis.monitor import RuntimeInvariantMonitor
+from repro.faults import (
+    AdaptiveAdversary,
+    CampaignState,
+    CampaignTimeout,
+    Probe,
+    RecoveryChaserStrategy,
+    WallClockBudget,
+    escalate,
+    run_probe,
+)
+from repro.sim.clock import Schedule
+from repro.sim.runner import ULRunner
+
+SCHED = Schedule(setup_rounds=2, refresh_rounds=4, normal_rounds=10)
+N, T = 5, 2
+UNITS = 3
+
+
+class FakeClock:
+    """Deterministic injectable clock: advances a fixed step per reading."""
+
+    def __init__(self, step: float = 0.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def build_probe(aggressiveness, *, guarded=True, seed=7, fail_fast=True):
+    adversary = AdaptiveAdversary(RecoveryChaserStrategy(), T, seed=seed,
+                                  guarded=guarded, aggressiveness=aggressiveness)
+    monitor = RuntimeInvariantMonitor(T, fail_fast=fail_fast)
+    runner = ULRunner([EchoProgram() for _ in range(N)], adversary, SCHED,
+                      s=T, seed=seed, observers=[adversary.lens, monitor])
+    return Probe(runner=runner, units=UNITS, monitor=monitor)
+
+
+# -------------------------------------------------------------------- timeout
+
+def test_wall_clock_budget_aborts_a_run_mid_flight():
+    probe = build_probe(0.2)
+    budget = WallClockBudget(5.0, clock=FakeClock(step=1.0))
+    probe.runner.add_observer(budget)
+    budget.start()
+    with pytest.raises(CampaignTimeout, match="exceeded"):
+        probe.runner.run(UNITS)
+    assert budget.elapsed > 5.0
+
+
+def test_run_probe_reports_timeout_after_exhausting_retries():
+    outcome = run_probe(lambda knob: build_probe(knob), 0.2,
+                        timeout=5.0, retries=1, clock=FakeClock(step=1.0))
+    assert outcome.timed_out
+    assert outcome.ok is None
+    assert outcome.attempts == 2  # the original try + one retry
+
+
+def test_run_probe_retries_then_succeeds():
+    clocks = iter([FakeClock(step=1.0), FakeClock(step=0.0)])
+    shared = {"clock": None}
+
+    def ticking():  # first attempt races ahead, the retry never ages
+        return shared["clock"]()
+
+    def build(knob):
+        shared["clock"] = next(clocks)
+        return build_probe(knob)
+
+    outcome = run_probe(build, 0.2, timeout=5.0, retries=2, clock=ticking)
+    assert outcome.ok is True
+    assert outcome.attempts == 2
+    assert outcome.digest
+
+
+# ------------------------------------------------------------ probe outcomes
+
+def test_clean_probe_carries_digest_and_extras():
+    def build(knob):
+        probe = build_probe(knob)
+        probe.extras = lambda execution: {"rounds": len(execution.records)}
+        return probe
+
+    outcome = run_probe(build, 0.2)
+    assert outcome.ok is True and outcome.violation is None
+    assert outcome.digest and outcome.rounds == SCHED.total_rounds(UNITS)
+    assert outcome.extras == {"rounds": SCHED.total_rounds(UNITS)}
+    assert json.loads(json.dumps(outcome.as_dict())) == outcome.as_dict()
+
+
+def test_violating_probe_records_the_violation_with_round_attribution():
+    outcome = run_probe(lambda knob: build_probe(knob, guarded=False), 1.0)
+    assert outcome.ok is False
+    assert outcome.violation["invariant"] == "L1-limit"
+    assert outcome.violation["event_round"] == outcome.violation["detected_round"]
+
+
+def test_non_fail_fast_monitors_still_decide_the_probe():
+    outcome = run_probe(
+        lambda knob: build_probe(knob, guarded=False, fail_fast=False), 1.0)
+    assert outcome.ok is False
+    assert outcome.violation["invariant"] == "L1-limit"
+
+
+# ----------------------------------------------------------- frontier search
+
+def test_escalate_finds_the_failure_frontier_by_bisection():
+    """Unguarded chaser wants ceil(knob * n) victims per unit: with n=5 and
+    t=2 the L1 frontier sits where the count first exceeds 2, i.e. in
+    (0.4, 0.6].  The ladder pins [0.4 clean, 0.6 violating]; bisection
+    then tightens from inside that bracket."""
+    result = escalate("frontier", lambda knob: build_probe(knob, guarded=False),
+                      ladder=(0.2, 0.4, 0.6, 0.8, 1.0), bisect_steps=3)
+    assert not result.margin_established
+    assert result.first_violation["invariant"] == "L1-limit"
+    assert 0.4 <= result.last_clean < result.frontier <= 0.6
+    assert result.frontier - result.last_clean <= (0.6 - 0.4) / 2
+    # 0.2 and 0.4 clean, 0.6 stops the ladder walk; bisection adds more
+    assert len(result.probes) > 3
+
+
+def test_escalate_establishes_the_margin_on_guarded_runs():
+    result = escalate("margin", lambda knob: build_probe(knob, guarded=True),
+                      ladder=(0.5, 1.0))
+    assert result.margin_established
+    assert result.frontier is None and result.first_violation is None
+    assert result.last_clean == 1.0
+    assert all(probe.ok and probe.digest for probe in result.probes)
+    assert json.loads(json.dumps(result.as_dict())) == result.as_dict()
+
+
+# -------------------------------------------------------------- resumability
+
+def test_campaign_state_makes_reruns_free(tmp_path):
+    path = tmp_path / "campaign.json"
+
+    first = CampaignState(path)
+    result_a = escalate("resume-me", lambda knob: build_probe(knob, guarded=False),
+                        ladder=(0.2, 0.6, 1.0), bisect_steps=2, state=first)
+    assert first.runs_executed == len(result_a.probes)
+
+    # a second invocation replays every probe from the file: zero new runs
+    second = CampaignState(path)
+    result_b = escalate("resume-me", lambda knob: build_probe(knob, guarded=False),
+                        ladder=(0.2, 0.6, 1.0), bisect_steps=2, state=second)
+    assert second.runs_executed == 0
+    assert all(probe.cached for probe in result_b.probes)
+    assert result_b.as_dict() == result_a.as_dict()
+
+    # a different campaign id shares the file but not the cache
+    third = CampaignState(path)
+    escalate("other-campaign", lambda knob: build_probe(knob), ladder=(0.2,),
+             state=third)
+    assert third.runs_executed == 1
+
+
+def test_campaign_state_survives_partial_sweeps(tmp_path):
+    path = tmp_path / "partial.json"
+    state = CampaignState(path)
+    outcome = run_probe(lambda knob: build_probe(knob), 0.3)
+    state.put("partial", outcome)
+    reloaded = CampaignState(path)
+    cached = reloaded.get("partial", 0.3)
+    assert cached is not None and cached.cached
+    assert cached.digest == outcome.digest
+    assert reloaded.get("partial", 0.4) is None

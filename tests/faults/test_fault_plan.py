@@ -158,3 +158,58 @@ def test_plan_is_immutable():
     plan = FaultPlan(seed=0)
     with pytest.raises(dataclasses.FrozenInstanceError):
         plan.seed = 1
+
+
+# ---------------------------------------------------------------- validation
+
+@pytest.mark.parametrize("plan, reason", [
+    (FaultPlan(seed=0, crashes=(CrashFault(0, 9, 4),)),
+     "last_round 4 < first_round 9"),
+    (FaultPlan(seed=0, crashes=(CrashFault(0, -1, 4),)),
+     "negative first_round"),
+    (FaultPlan(seed=0, corruptions=(MemoryCorruptionFault(0, -3),)),
+     "negative first_round"),
+    (FaultPlan(seed=0, drops=(DropFault(frozenset((0, 1)), 3, 4, probability=1.5),)),
+     "probability 1.5 outside"),
+    (FaultPlan(seed=0, drops=(DropFault(frozenset((0, 1)), 3, 4, probability=-0.1),)),
+     "outside \\[0, 1\\]"),
+    (FaultPlan(seed=0, drops=(DropFault(frozenset((0,)), 3, 4),)),
+     "link must join two distinct nodes"),
+    (FaultPlan(seed=0, drops=(DropFault(frozenset((0, 1, 2)), 3, 4),)),
+     "link must join two distinct nodes"),
+    (FaultPlan(seed=0, duplications=(DuplicateFault(frozenset((0, 1)), 3, 4, copies=0),)),
+     "copies must be >= 1"),
+    (FaultPlan(seed=0, delays=(DelayFault(frozenset((0, 1)), 3, 4, delay=0),)),
+     "delay must be >= 1"),
+])
+def test_validate_rejects_malformed_faults(plan, reason):
+    with pytest.raises(ValueError, match=reason):
+        plan.validate()
+
+
+def test_validate_checks_node_range_only_with_context():
+    plan = FaultPlan(seed=0, crashes=(CrashFault(99, 3, 4),),
+                     reorders=(ReorderFault(99, 3, 4),))
+    plan.validate()  # no n given: node ids cannot be checked
+    with pytest.raises(ValueError, match=r"node 99 outside \[0, 5\)"):
+        plan.validate(n=N)
+
+
+def test_validate_checks_the_run_horizon_only_with_context():
+    plan = FaultPlan(seed=0, crashes=(CrashFault(0, 50, 60),))
+    plan.validate(n=N)  # no horizon given: windows cannot be checked
+    with pytest.raises(ValueError, match="beyond the 40-round horizon"):
+        plan.validate(n=N, total_rounds=SCHED.total_rounds(3))
+
+
+def test_validate_returns_self_for_chaining():
+    plan = FaultPlan(seed=0, crashes=(CrashFault(0, 3, 4),))
+    assert plan.validate(n=N, total_rounds=SCHED.total_rounds(3)) is plan
+
+
+def test_malformed_plans_fail_the_run_at_injection_time():
+    """The adversary validates at begin(): a bad plan aborts the run up
+    front instead of silently never firing."""
+    plan = FaultPlan(seed=0, crashes=(CrashFault(N + 3, 3, 4),))
+    with pytest.raises(ValueError, match="outside"):
+        run_plan(plan)
