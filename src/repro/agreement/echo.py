@@ -93,7 +93,7 @@ class EchoBroadcast:
         """Process this round's accepted transport messages and complete
         any sessions whose echo-collection window has closed."""
         self._deliveries = []
-        for accepted in self.transport.accepted():
+        for accepted in self.transport.accepted_view():
             body = accepted.body
             if not isinstance(body, tuple) or len(body) != 4:
                 continue

@@ -21,7 +21,7 @@ import hashlib
 
 from repro.sim.messages import Envelope
 
-__all__ = ["stable_form", "transcript_digest"]
+__all__ = ["stable_form", "transcript_digest", "RoundsDigest", "rounds_digest"]
 
 
 def stable_form(value):
@@ -59,3 +59,52 @@ def transcript_digest(execution) -> str:
         stable_form(execution.adversary_output),
     )
     return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+
+class RoundsDigest:
+    """Incremental canonical digest over per-round traffic.
+
+    One :meth:`update` per round hashes the same canonical tuple that
+    :func:`transcript_digest` builds for a full record, so a run that
+    streams this digest while keeping only compact records stays
+    digest-comparable to a full-mode run (see :func:`rounds_digest`).
+    The per-round canonical forms are hashed as they arrive and then
+    dropped — memory use is O(1) in the number of rounds.
+    """
+
+    def __init__(self) -> None:
+        self._hash = hashlib.sha256()
+
+    def update(self, info, sent, delivered, broken, operational, unreliable_links) -> None:
+        form = (
+            info,
+            stable_form(sent),
+            stable_form(delivered),
+            stable_form(broken),
+            stable_form(operational),
+            stable_form(unreliable_links),
+        )
+        self._hash.update(repr(form).encode("utf-8"))
+
+    def hexdigest(self) -> str:
+        return self._hash.hexdigest()
+
+
+def rounds_digest(execution) -> str:
+    """The :class:`RoundsDigest` of a full-mode execution's records.
+
+    Equals ``execution.rounds_digest`` of a compact-records run of the
+    same protocol iff the two runs delivered bit-identical round traffic —
+    the parity check the E16 benchmark performs for compact mode.
+    """
+    digest = RoundsDigest()
+    for record in execution.records:
+        digest.update(
+            record.info,
+            record.sent,
+            record.delivered,
+            record.broken,
+            record.operational,
+            record.unreliable_links,
+        )
+    return digest.hexdigest()

@@ -124,6 +124,14 @@ class AuthSendTransport(Transport):
     def accepted(self) -> list[Accepted]:
         return list(self._accepted)
 
+    def accepted_view(self) -> list[Accepted]:
+        return self._accepted
+
     def accepted_certified(self) -> list[AcceptedCertified]:
         """Accepted messages with raw certified tuples (for PA step 3)."""
         return list(self._accepted)
+
+    def accepted_certified_view(self) -> list[AcceptedCertified]:
+        """Read-only variant of :meth:`accepted_certified` (the internal
+        list is replaced, never mutated, each ``begin_round``)."""
+        return self._accepted

@@ -45,10 +45,19 @@ class _TopLayerContext:
         self.node_id = real.node_id
         self.n = real.n
         self.info = real.info
-        self.rng = real.rng
         self.rom = real.rom
         self.external_inputs = real.external_inputs
         self.outputs = real.outputs
+
+    @property
+    def rng(self) -> Any:
+        # forwarded lazily: resolving it here would force the per-round
+        # randomness derivation even when π never draws from it
+        return self._real.rng
+
+    def channel_view(self, inbox: list[Envelope], channel: str) -> list[Envelope]:
+        # π's inbox is reassembled, never the bound one — plain filter
+        return [envelope for envelope in inbox if envelope.channel == channel]
 
     def send(self, receiver: int, channel: str, payload: Any) -> None:
         if receiver == self.node_id or not (0 <= receiver < self.n):

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Any, Hashable
 
 from repro.perf.cache import canonical_body_key, canonical_key_fn, canonical_probe
+from repro.perf.config import perf_config
 from repro.sim.messages import Envelope
 from repro.sim.node import NodeContext
 
@@ -75,8 +76,15 @@ class DisperseService:
         # receipts that become visible next round: round -> list
         self._buffered: dict[int, list[tuple[str, int, Any]]] = {}
         self._current: list[tuple[str, int, Any]] = []  # (tag, claimed_src, body)
-        self._seen_receipts: set[Hashable] = set()
+        # relay-dedup keys embed the round number, so entries from past
+        # rounds can never match again — the set is cleared whenever the
+        # round advances and stays O(this round's distinct floods) instead
+        # of growing without bound across units
         self._relayed: set[Hashable] = set()
+        self._relayed_round = -1
+        # lazily tag-binned view of _current (perf: consumers poll several
+        # tags per round and each receipts() call was a full scan)
+        self._receipts_by_tag: dict[str, list[tuple[int, Any]]] | None = None
         if retransmit < 0:
             raise ValueError(f"retransmit must be >= 0, got {retransmit}")
         self.relay_fanout = relay_fanout
@@ -88,6 +96,9 @@ class DisperseService:
         self._retx_queue: dict[int, list[tuple[int, Any, str, int, int]]] = {}
         # full-flood target list; identical for every send by this node
         self._all_targets: list[int] | None = None
+        # fanout-restricted relay list per receiver; the choice is a pure
+        # function of (node_id, receiver, fanout, n), all fixed for a run
+        self._fanout_targets: dict[int, list[int]] = {}
 
     def _targets(self, ctx: NodeContext, receiver: int) -> list[int]:
         if self.relay_fanout is None or self.relay_fanout >= ctx.n - 1:
@@ -97,7 +108,10 @@ class DisperseService:
                     node for node in range(ctx.n) if node != ctx.node_id
                 ]
             return targets
-        targets: list[int] = []
+        targets = self._fanout_targets.get(receiver)
+        if targets is not None:
+            return targets
+        targets = []
         for node in range(ctx.n):
             if node in (ctx.node_id, receiver):
                 continue
@@ -105,6 +119,7 @@ class DisperseService:
             if len(targets) >= self.relay_fanout - 1:
                 break
         targets.append(receiver)
+        self._fanout_targets[receiver] = targets
         return targets
 
     def send(
@@ -143,23 +158,26 @@ class DisperseService:
                     (receiver, body, tag, retries - 1, unit)
                 )
         self._current = self._buffered.pop(round_number, [])
+        self._receipts_by_tag = None
+        if round_number != self._relayed_round:
+            # relay keys embed their round; anything left over is stale
+            self._relayed.clear()
+            self._relayed_round = round_number
         emitted: set[Hashable] = set()
-        # the flood loop touches every inbox envelope; bind the per-round
-        # invariants (dedup key memo, own id, dedup sets, outbox) to locals
-        # and inline the memo probe and the relay send so the per-envelope
-        # cost is free of attribute lookups and function-call overhead
+        # the flood loop touches every disperse envelope; bind the
+        # per-round invariants (dedup key memo, own id, dedup set, outbox)
+        # to locals and inline the memo probe and the relay send so the
+        # per-envelope cost is free of attribute lookups and function-call
+        # overhead
         key_entries, key_miss = canonical_probe()
         node_id = ctx.node_id
         n = ctx.n
         outbox_append = ctx.outbox.append
         relayed = self._relayed
-        seen_receipts = self._seen_receipts
         current = self._current
         relayed_count = 0
 
-        for envelope in inbox:
-            if envelope.channel != DISPERSE_CHANNEL:
-                continue
+        for envelope in ctx.channel_view(inbox, DISPERSE_CHANNEL):
             payload = envelope.payload
             if not isinstance(payload, tuple) or len(payload) != 5:
                 continue
@@ -202,7 +220,7 @@ class DisperseService:
                     else key_miss(body)
                 )
                 receipt_key = (round_number, tag, src, key)
-                if receipt_key in emitted or receipt_key in seen_receipts:
+                if receipt_key in emitted:
                     continue
                 emitted.add(receipt_key)
                 current.append((tag, src, body))
@@ -229,5 +247,20 @@ class DisperseService:
 
     def receipts(self, tag: str = "") -> list[tuple[int, Any]]:
         """Strings marked received this round under ``tag``, as
-        ``(claimed_source, body)`` — the source is NOT authenticated."""
+        ``(claimed_source, body)`` — the source is NOT authenticated.
+
+        Callers must treat the result as read-only: with the demux perf
+        flag on, every call for the same tag this round shares one
+        tag-binned list built in a single pass over the receipts.
+        """
+        if perf_config().flag("inbox_demux"):
+            bins = self._receipts_by_tag
+            if bins is None:
+                bins = self._receipts_by_tag = {}
+                for t, src, body in self._current:
+                    bin_ = bins.get(t)
+                    if bin_ is None:
+                        bin_ = bins[t] = []
+                    bin_.append((src, body))
+            return bins.get(tag, [])
         return [(src, body) for t, src, body in self._current if t == tag]

@@ -128,7 +128,7 @@ class PartialAgreementService:
             bucket[key] = (value, raw)
 
     def _ingest_step1(self, ctx: NodeContext) -> None:
-        for accepted in self.transport.accepted_certified():
+        for accepted in self.transport.accepted_certified_view():
             body = accepted.body
             if not (isinstance(body, tuple) and len(body) == 3 and body[0] == "pa1"):
                 continue

@@ -66,7 +66,7 @@ class SessionLayer:
     # -- key management ---------------------------------------------------
 
     def _harvest_peer_keys(self) -> None:
-        for accepted in self.core.transport.accepted_certified():
+        for accepted in self.core.transport.accepted_certified_view():
             raw = accepted.raw
             verify_key = raw.verify_key
             if isinstance(verify_key, SchnorrVerifyKey):
@@ -112,9 +112,7 @@ class SessionLayer:
         if announce and self.core.keystore.can_sign():
             self.core.transport.send_to_all(ctx, ("sess-hello", self.core.keystore.unit))
 
-        for envelope in inbox:
-            if envelope.channel != SESSION_CHANNEL:
-                continue
+        for envelope in ctx.channel_view(inbox, SESSION_CHANNEL):
             self._receive(ctx, envelope)
 
     def _receive(self, ctx: NodeContext, envelope: Envelope) -> None:

@@ -239,7 +239,7 @@ class UlsCore:
         self.transport.begin_round(ctx, inbox)
         self._app_accepted = [
             (accepted.sender, accepted.body[1])
-            for accepted in self.transport.accepted()
+            for accepted in self.transport.accepted_view()
             if isinstance(accepted.body, tuple)
             and len(accepted.body) == 2
             and accepted.body[0] == "app"
@@ -330,9 +330,7 @@ class UlsCore:
     def _start_agreements(self, ctx: NodeContext, unit: int, inbox: list[Envelope]) -> None:
         """Part (I) step 3: one PARTIAL-AGREEMENT per announced key
         (first value received per alleged sender counts)."""
-        for envelope in inbox:
-            if envelope.channel != NEWKEY_CHANNEL:
-                continue
+        for envelope in ctx.channel_view(inbox, NEWKEY_CHANNEL):
             payload = envelope.payload
             if not (isinstance(payload, tuple) and len(payload) == 3 and payload[0] == "newkey"):
                 continue

@@ -179,7 +179,7 @@ class RefreshService:
         # (e.g. a reveal racing a delayed dealing from the same dealer) is
         # exactly what per-message processing would have produced.
         zdeal_run: list[tuple[int, tuple]] = []
-        for accepted in self.transport.accepted():
+        for accepted in self.transport.accepted_view():
             body = accepted.body
             if not isinstance(body, tuple) or len(body) < 2:
                 continue

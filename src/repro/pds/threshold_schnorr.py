@@ -223,7 +223,7 @@ class ThresholdSigner:
     # -- inbound ------------------------------------------------------------
 
     def _ingest(self, ctx: NodeContext) -> None:
-        for accepted in self.transport.accepted():
+        for accepted in self.transport.accepted_view():
             body = accepted.body
             if not isinstance(body, tuple) or len(body) < 2:
                 continue

@@ -70,6 +70,16 @@ class Transport(ABC):
     def accepted(self) -> list[Accepted]:
         """Messages accepted this round (reset every ``begin_round``)."""
 
+    def accepted_view(self) -> list[Accepted]:
+        """Read-only view of :meth:`accepted`.
+
+        Sub-protocols iterate the acceptances several times per round;
+        transports that keep an internal list expose it here directly so
+        each consumer doesn't force a defensive copy.  Callers must not
+        mutate the result.  The default just defers to :meth:`accepted`.
+        """
+        return self.accepted()
+
     def send_to_all(self, ctx: NodeContext, body: Any) -> None:
         """Point-to-point send to every other node (n-1 messages).
 
@@ -100,8 +110,7 @@ class DirectTransport(Transport):
     def begin_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
         self._accepted = [
             Accepted(sender=env.sender, body=env.payload)
-            for env in inbox
-            if env.channel == self.channel
+            for env in ctx.channel_view(inbox, self.channel)
         ]
 
     def send(self, ctx: NodeContext, receiver: int, body: Any) -> None:
@@ -109,3 +118,6 @@ class DirectTransport(Transport):
 
     def accepted(self) -> list[Accepted]:
         return list(self._accepted)
+
+    def accepted_view(self) -> list[Accepted]:
+        return self._accepted

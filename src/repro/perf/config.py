@@ -51,6 +51,23 @@ class PerfConfig:
     share_image_cache: bool = True
     gc_tuning: bool = True
     fixed_base_min_bits: int = 192
+    # -- the simulation-floor layer (crypto-free hot paths) ------------------
+    #: per-round channel-binned inbox views and tag-binned DISPERSE receipts
+    inbox_demux: bool = True
+    #: derive per-node-round randomness only when a program touches ctx.rng
+    lazy_rng: bool = True
+    #: trust FaithfulPlan provenance to skip the regroup-and-compare of
+    #: _plan_is_faithful and the per-envelope plan sanitation
+    faithful_fastpath: bool = True
+    #: RoundRecord.delivered shares the delivery plan's lists instead of
+    #: re-materializing per-receiver tuples every round
+    zero_copy_records: bool = True
+    #: FaultInjectionAdversary indexes round-active faults and passes
+    #: faithful plans through untouched on fault-free rounds
+    fault_index: bool = True
+    #: benchmark-sweep mode: round records keep counts, not envelopes
+    #: (off by default — analyses that read record.sent need full records)
+    compact_records: bool = False
 
     def flag(self, name: str) -> bool:
         return self.enabled and bool(getattr(self, name))

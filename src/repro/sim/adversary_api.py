@@ -33,11 +33,68 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.sim.node import Node, NodeProgram
     from repro.sim.rom import Rom
 
-__all__ = ["Adversary", "AdversaryApi", "PassiveAdversary", "faithful_delivery"]
+__all__ = [
+    "Adversary",
+    "AdversaryApi",
+    "FaithfulPlan",
+    "PassiveAdversary",
+    "faithful_delivery",
+]
+
+
+class FaithfulPlan(dict):
+    """A delivery plan carrying provenance: built by :meth:`build` as the
+    faithful regrouping of exactly ``source``, and unmodified since.
+
+    The runner's accounting treats a ``FaithfulPlan`` whose ``source`` is
+    the round's sent traffic as proven faithful (Definition 4 holds per
+    construction) and skips the full regroup-and-compare — one of the
+    simulation-floor optimizations (``PerfConfig.faithful_fastpath``).
+
+    Contract: holders must treat the plan and its lists as **read-only**.
+    Code that wants to edit a faithful plan must build its own ``dict``
+    (as every shipped adversary does — :func:`faithful_delivery` keeps
+    returning a plain dict precisely so editing call sites never receive
+    a marked plan).  Key-level mutation through Python drops the marker
+    as a safety net; ``dict.setdefault`` of empty inboxes is harmless and
+    keeps it.
+    """
+
+    __slots__ = ("source",)
+
+    @classmethod
+    def build(cls, traffic: tuple[Envelope, ...], n: int) -> "FaithfulPlan":
+        plan = cls((i, []) for i in range(n))
+        for envelope in traffic:
+            plan[envelope.receiver].append(envelope)
+        plan.source = traffic
+        return plan
+
+    # dict-level edits invalidate the provenance (list-level edits are
+    # excluded by the read-only contract above)
+    def __setitem__(self, key, value):
+        self.source = None
+        dict.__setitem__(self, key, value)
+
+    def __delitem__(self, key):
+        self.source = None
+        dict.__delitem__(self, key)
+
+    def __reduce__(self):
+        # pickling (parallel benchmark workers) drops the marker: object
+        # identity with the traffic tuple cannot survive a process hop
+        return (dict, (), None, None, iter(self.items()))
 
 
 def faithful_delivery(traffic: tuple[Envelope, ...], n: int) -> dict[int, list[Envelope]]:
-    """The honest delivery plan: every message arrives unmodified."""
+    """The honest delivery plan: every message arrives unmodified.
+
+    Returns a plain ``dict`` that callers are free to edit (adversary
+    strategies start from a faithful plan and drop/duplicate/modify).
+    Internal call sites that pass the plan through *unmodified* use
+    :meth:`FaithfulPlan.build` instead, so the runner can skip re-proving
+    faithfulness.
+    """
     plan: dict[int, list[Envelope]] = {i: [] for i in range(n)}
     for envelope in traffic:
         plan[envelope.receiver].append(envelope)
@@ -47,14 +104,35 @@ def faithful_delivery(traffic: tuple[Envelope, ...], n: int) -> dict[int, list[E
 class AdversaryApi:
     """Capability object handed to the adversary each round."""
 
-    def __init__(self, nodes: list["Node"], info: RoundInfo, rng: random.Random) -> None:
+    def __init__(
+        self,
+        nodes: list["Node"],
+        info: RoundInfo,
+        rng: random.Random | Callable[[], random.Random],
+    ) -> None:
         self._nodes = nodes
         self.info = info
-        self.rng = rng
+        # ``rng`` may be a zero-arg factory (the runner's lazy_rng mode):
+        # deriving a PRF-seeded Random per round is measurable at the
+        # simulation floor, and most adversaries never draw from it.  The
+        # stream is identical whenever it is actually used.
+        if callable(rng):
+            self._rng = None
+            self._rng_factory = rng
+        else:
+            self._rng = rng
+            self._rng_factory = None
         self.n = len(nodes)
         self.injected: list[Envelope] = []
         self.break_events: list[tuple[int, str]] = []  # (node, "break"/"leave")
         self.output_entries: list[Any] = []
+
+    @property
+    def rng(self) -> random.Random:
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = self._rng_factory()
+        return rng
 
     # -- observation --------------------------------------------------------
 
@@ -157,8 +235,12 @@ class Adversary:
         The default is faithful delivery.  Strategies may drop, modify,
         duplicate and inject arbitrarily; the runner only normalizes
         receiver consistency.
+
+        The default returns a provenance-marked :class:`FaithfulPlan`
+        (strategies that *edit* a faithful plan start from
+        :func:`faithful_delivery` instead, which returns a plain dict).
         """
-        return faithful_delivery(traffic, api.n)
+        return FaithfulPlan.build(traffic, api.n)
 
     def finish(self) -> list[Any]:
         """Final adversary output entries (appended to the global output)."""

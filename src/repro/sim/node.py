@@ -27,9 +27,24 @@ __all__ = ["NodeContext", "NodeProgram", "Node", "ALERT"]
 #: The distinguished alert output entry (Definition 11).
 ALERT = ("alert",)
 
+_NO_INBOX: list[Envelope] = []
+
 
 class NodeContext:
-    """Per-round execution context for one node (see module docstring)."""
+    """Per-round execution context for one node (see module docstring).
+
+    ``rng`` may be either a ready ``random.Random`` or a zero-arg factory
+    for one: deriving the paper's ``r_{i,w}`` costs a PRF evaluation plus
+    a ``Random`` construction per node per round, which dominates
+    crypto-free workloads whose programs never draw randomness.  The
+    factory is invoked (once) on first access, so the stream any program
+    actually sees is identical either way.
+
+    ``inbox`` optionally binds the round's delivered messages, enabling
+    :meth:`channel_view` — the shared per-channel demultiplexer that lets
+    every sub-protocol of a multiplexing program read only its own
+    channel instead of re-scanning the whole inbox.
+    """
 
     def __init__(
         self,
@@ -39,15 +54,55 @@ class NodeContext:
         rng: Any,
         rom: Rom,
         external_inputs: list[Any],
+        inbox: list[Envelope] | None = None,
+        demux: bool = False,
     ) -> None:
         self.node_id = node_id
         self.n = n
         self.info = info
-        self.rng = rng
+        if callable(rng):
+            self._rng = None
+            self._rng_factory = rng
+        else:
+            self._rng = rng
+            self._rng_factory = None
         self.rom = rom
         self.external_inputs = external_inputs
+        self.inbox = _NO_INBOX if inbox is None else inbox
+        self._demux = demux
+        self._bins: dict[str, list[Envelope]] | None = None
         self.outbox: list[Envelope] = []
         self.outputs: list[Any] = []
+
+    @property
+    def rng(self) -> Any:
+        rng = self._rng
+        if rng is None and self._rng_factory is not None:
+            rng = self._rng = self._rng_factory()
+        return rng
+
+    # -- inbox views -------------------------------------------------------
+
+    def channel_view(self, inbox: list[Envelope], channel: str) -> list[Envelope]:
+        """The envelopes of ``inbox`` on ``channel``, in arrival order.
+
+        When ``inbox`` is this round's bound inbox and demultiplexing is
+        on, the answer comes from per-channel bins built in one pass on
+        first use (every consumer shares them); otherwise it is a plain
+        scan.  Either way the result is the exact order-preserving filter
+        — callers must treat the returned list as read-only.
+        """
+        if self._demux and inbox is self.inbox:
+            bins = self._bins
+            if bins is None:
+                bins = self._bins = {}
+                for envelope in inbox:
+                    bin_ = bins.get(envelope.channel)
+                    if bin_ is None:
+                        bin_ = bins[envelope.channel] = []
+                    bin_.append(envelope)
+            return bins.get(channel, _NO_INBOX)
+        return [envelope for envelope in inbox if envelope.channel == channel]
 
     # -- effectors ---------------------------------------------------------
 
@@ -82,10 +137,15 @@ class NodeContext:
 
     def broadcast(self, channel: str, payload: Any) -> None:
         """Send the same payload to every other node (n-1 point-to-point
-        messages; *not* a consistent-broadcast primitive)."""
-        for receiver in range(self.n):
-            if receiver != self.node_id:
-                self.send(receiver, channel, payload)
+        messages; *not* a consistent-broadcast primitive).  Delegates to
+        the validated :meth:`fanout` fast path — same checks, same outbox
+        order as n-1 :meth:`send` calls."""
+        node_id = self.node_id
+        self.fanout(
+            [receiver for receiver in range(self.n) if receiver != node_id],
+            channel,
+            payload,
+        )
 
     def output(self, entry: Any) -> None:
         """Append an entry to this node's local output (the global output
@@ -139,7 +199,6 @@ class Node:
         self.broken = False
         self.outputs: list[tuple[int, Any]] = []  # (round, entry)
         self.pending_inbox: list[Envelope] = []
-        self.external_inputs: list[Any] = []
         program.bind(node_id, n)
 
     def record_outputs(self, round_number: int, entries: list[Any]) -> list[tuple[int, Any]]:

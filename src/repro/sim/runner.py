@@ -28,13 +28,20 @@ from __future__ import annotations
 from collections import Counter
 from typing import Any, Callable
 
-from repro.sim.adversary_api import Adversary, AdversaryApi, faithful_delivery
+from repro.sim.adversary_api import Adversary, AdversaryApi, FaithfulPlan
 from repro.adversary.connectivity import ConnectivityTracker
+from repro.perf.config import perf_config
 from repro.sim.clock import Phase, RoundInfo, Schedule
 from repro.sim.messages import Envelope
 from repro.sim.node import Node, NodeContext, NodeProgram
 from repro.sim.randomness import RandomnessSource
-from repro.sim.transcript import COMPROMISED, RECOVERED, Execution, RoundRecord
+from repro.sim.transcript import (
+    COMPROMISED,
+    RECOVERED,
+    CompactRoundRecord,
+    Execution,
+    RoundRecord,
+)
 
 __all__ = ["Runner", "ALRunner", "ULRunner", "RunObserver"]
 
@@ -74,6 +81,7 @@ class Runner:
         input_provider: InputProvider | None = None,
         *,
         observers: list[RunObserver] | None = None,
+        stream_digest: bool = False,
     ) -> None:
         self.n = len(programs)
         if self.n < 2:
@@ -91,6 +99,16 @@ class Runner:
             node_outputs=[[] for _ in range(self.n)],
         )
         self._prev_status: list[bool] = [True] * self.n  # True = "good" last round
+        # incremental canonical digest over the per-round records; with
+        # compact records on it is the only way the round traffic remains
+        # comparable to a full-mode run (see analysis.digest.rounds_digest).
+        # imported lazily: repro.analysis's package init imports this module
+        if stream_digest:
+            from repro.analysis.digest import RoundsDigest
+
+            self._rounds_digest = RoundsDigest()
+        else:
+            self._rounds_digest = None
 
     # -- driver-facing API -----------------------------------------------------
 
@@ -110,6 +128,8 @@ class Runner:
         for round_number in range(total):
             self._run_round(self.schedule.info(round_number))
         self.execution.adversary_output.extend(self.adversary.finish())
+        if self._rounds_digest is not None:
+            self.execution.rounds_digest = self._rounds_digest.hexdigest()
         for observer in self.observers:
             observer.on_run_end(self.execution)
         return self.execution
@@ -123,6 +143,16 @@ class Runner:
         return inputs
 
     def _run_round(self, info: RoundInfo) -> None:
+        cfg = perf_config()
+        enabled = cfg.enabled
+        lazy_rng = enabled and cfg.lazy_rng
+        demux = enabled and cfg.inbox_demux
+        fastpath = enabled and cfg.faithful_fastpath
+        zero_copy = enabled and cfg.zero_copy_records
+        compact = enabled and cfg.compact_records
+        randomness = self.randomness
+        round_number = info.round
+
         # 1. honest computation
         traffic: list[Envelope] = []
         for node in self.nodes:
@@ -130,30 +160,41 @@ class Runner:
             node.pending_inbox = []
             if node.broken:
                 continue  # broken nodes have empty output; adversary acts for them
+            node_id = node.node_id
+            if lazy_rng:
+                rng = lambda _i=node_id, _r=round_number: randomness.node_round(_i, _r)
+            else:
+                rng = randomness.node_round(node_id, round_number)
             ctx = NodeContext(
-                node_id=node.node_id,
+                node_id=node_id,
                 n=self.n,
                 info=info,
-                rng=self.randomness.node_round(node.node_id, info.round),
+                rng=rng,
                 rom=node.rom,
-                external_inputs=self._inputs_for(node.node_id, info),
+                external_inputs=self._inputs_for(node_id, info),
+                inbox=inbox,
+                demux=demux,
             )
             node.program.step(ctx, inbox)
             traffic.extend(ctx.outbox)
             if ctx.outputs:
-                stamped = node.record_outputs(info.round, ctx.outputs)
-                self.execution.node_outputs[node.node_id].extend(stamped)
+                stamped = node.record_outputs(round_number, ctx.outputs)
+                self.execution.node_outputs[node_id].extend(stamped)
 
         # 2-3. adversary interaction + delivery
         if info.phase is Phase.SETUP:
             sent = tuple(traffic)
-            plan = faithful_delivery(sent, self.n)
+            plan: dict[int, list[Envelope]] = FaithfulPlan.build(sent, self.n)
             broken = frozenset()
             if info.is_phase_end:
                 for node in self.nodes:
                     node.rom.freeze()
         else:
-            api = AdversaryApi(self.nodes, info, self.randomness.stream("api", info.round))
+            if lazy_rng:
+                api_rng = lambda _r=round_number: randomness.stream("api", _r)
+            else:
+                api_rng = randomness.stream("api", round_number)
+            api = AdversaryApi(self.nodes, info, api_rng)
             observed = tuple(traffic)  # rushing: the pre-injection view
             self.adversary.on_round(api, info, observed)
             self.execution.adversary_output.extend(api.output_entries)
@@ -161,25 +202,65 @@ class Runner:
             sent = observed + tuple(api.injected) if api.injected else observed
             plan = self._resolve_delivery(api, info, sent)
 
-        self._sanitize_plan(plan)
+        # a FaithfulPlan built from exactly this round's sent traffic is
+        # faithful by construction: receiver keys are complete, every
+        # envelope sits in its receiver's inbox, nothing was added or
+        # dropped — so both the sanitation walk and the Definition 4
+        # regroup-and-compare are already decided
+        provenly_faithful = (
+            fastpath
+            and type(plan) is FaithfulPlan
+            and plan.source is sent
+        )
+        if not provenly_faithful:
+            self._sanitize_plan(plan)
         for node in self.nodes:
             node.pending_inbox = plan.get(node.node_id, [])
 
         # 4. accounting
-        unreliable = self._unreliable_links(sent, plan, broken)
+        unreliable = self._unreliable_links(
+            sent, plan, broken, provenly_faithful=provenly_faithful
+        )
         operational = self._operational_set(info, broken, unreliable)
         self._log_status_changes(info, broken, operational)
-        self.execution.records.append(
-            RoundRecord(
+
+        digesting = self._rounds_digest is not None
+        delivered: Any = None
+        if digesting or not compact:
+            if zero_copy or compact:
+                # share the plan's own lists (and, for a complete faithful
+                # plan, the dict itself) instead of re-materializing tuples;
+                # holders must treat records as read-only — which was
+                # always the contract for transcripts
+                if type(plan) is FaithfulPlan:
+                    delivered = plan
+                else:
+                    delivered = {i: plan.get(i, ()) for i in range(self.n)}
+            else:
+                delivered = {i: tuple(plan.get(i, ())) for i in range(self.n)}
+        if digesting:
+            self._rounds_digest.update(
+                info, sent, delivered, broken, operational, unreliable
+            )
+        if compact:
+            record: Any = CompactRoundRecord(
                 info=info,
-                sent=sent,
-                delivered={i: tuple(plan.get(i, [])) for i in range(self.n)},
+                sent_count=len(sent),
+                delivered_count=sum(map(len, plan.values())),
                 broken=broken,
                 operational=operational,
                 unreliable_links=unreliable,
             )
-        )
-        record = self.execution.records[-1]
+        else:
+            record = RoundRecord(
+                info=info,
+                sent=sent,
+                delivered=delivered,
+                broken=broken,
+                operational=operational,
+                unreliable_links=unreliable,
+            )
+        self.execution.records.append(record)
         for observer in self.observers:
             observer.on_round(self.execution, record)
 
@@ -198,6 +279,8 @@ class Runner:
         traffic: tuple[Envelope, ...],
         plan: dict[int, list[Envelope]],
         broken: frozenset[int],
+        *,
+        provenly_faithful: bool = False,
     ) -> frozenset[frozenset[int]]:
         """Definition 4, per round: a link {i, j} is unreliable if an
         endpoint is broken or traffic on either direction was not delivered
@@ -227,15 +310,14 @@ class Runner:
         # delivered multisets match and the only unreliable links are the
         # broken-endpoint ones.  Any mismatch falls through to the full
         # per-direction accounting below.
-        if self._plan_is_faithful(traffic, plan):
+        if provenly_faithful or self._plan_is_faithful(traffic, plan):
             return frozenset(links_broken)
 
-        # per direction: envelope-object id counts (the object lists keep
-        # every counted envelope alive, so ids cannot be recycled)
+        # per direction: envelope-object id counts (the traffic tuple and
+        # the plan's lists keep every counted envelope alive for the whole
+        # comparison, so ids cannot be recycled)
         sent_ids: dict[tuple[int, int], dict[int, int]] = {}
         delivered_ids: dict[tuple[int, int], dict[int, int]] = {}
-        sent_objs: dict[tuple[int, int], list[Envelope]] = {}
-        delivered_objs: dict[tuple[int, int], list[Envelope]] = {}
 
         for envelope in traffic:
             if envelope.sender in broken or envelope.receiver in broken:
@@ -244,10 +326,8 @@ class Runner:
             counts = sent_ids.get(direction)
             if counts is None:
                 counts = sent_ids[direction] = {}
-                sent_objs[direction] = []
             ident = id(envelope)
             counts[ident] = counts.get(ident, 0) + 1
-            sent_objs[direction].append(envelope)
         for receiver, envelopes in plan.items():
             for envelope in envelopes:
                 if envelope.sender in broken or receiver in broken:
@@ -256,20 +336,40 @@ class Runner:
                 counts = delivered_ids.get(direction)
                 if counts is None:
                     counts = delivered_ids[direction] = {}
-                    delivered_objs[direction] = []
                 ident = id(envelope)
                 counts[ident] = counts.get(ident, 0) + 1
-                delivered_objs[direction].append(envelope)
 
         unreliable = set(links_broken)
+        mismatched: list[tuple[int, int]] = []
         for direction in set(sent_ids) | set(delivered_ids):
-            link = frozenset(direction)
-            if link in unreliable:
+            if frozenset(direction) in unreliable:
                 continue
-            if sent_ids.get(direction) == delivered_ids.get(direction):
-                continue  # identical objects => identical multisets
-            sent_side = sent_objs.get(direction, [])
-            delivered_side = delivered_objs.get(direction, [])
+            if sent_ids.get(direction) != delivered_ids.get(direction):
+                mismatched.append(direction)
+        if not mismatched:
+            return frozenset(unreliable)
+
+        # only directions whose id-counts differ need the content-level
+        # multiset comparison; gather their envelope objects in one
+        # targeted second pass instead of materializing per-direction
+        # lists for the whole round up front
+        wanted = set(mismatched)
+        sent_objs: dict[tuple[int, int], list[Envelope]] = {d: [] for d in wanted}
+        delivered_objs: dict[tuple[int, int], list[Envelope]] = {d: [] for d in wanted}
+        for envelope in traffic:
+            direction = (envelope.sender, envelope.receiver)
+            if direction in wanted:
+                sent_objs[direction].append(envelope)
+        for receiver, envelopes in plan.items():
+            for envelope in envelopes:
+                direction = (envelope.sender, receiver)
+                if direction in wanted:
+                    delivered_objs[direction].append(envelope)
+
+        for direction in mismatched:
+            link = frozenset(direction)
+            sent_side = sent_objs[direction]
+            delivered_side = delivered_objs[direction]
             try:
                 if Counter(sent_side) != Counter(delivered_side):
                     unreliable.add(link)
@@ -366,7 +466,8 @@ class ALRunner(Runner):
     def _resolve_delivery(
         self, api: AdversaryApi, info: RoundInfo, traffic: tuple[Envelope, ...]
     ) -> dict[int, list[Envelope]]:
-        return faithful_delivery(traffic, self.n)
+        # delivery is faithful *by model definition*, so carry the proof
+        return FaithfulPlan.build(traffic, self.n)
 
     def _operational_set(
         self,
@@ -398,9 +499,10 @@ class ULRunner(Runner):
         input_provider: InputProvider | None = None,
         *,
         observers: list[RunObserver] | None = None,
+        stream_digest: bool = False,
     ) -> None:
         super().__init__(programs, adversary, schedule, seed, input_provider,
-                         observers=observers)
+                         observers=observers, stream_digest=stream_digest)
         self.s = s
         self.tracker = ConnectivityTracker(self.n, s)
 

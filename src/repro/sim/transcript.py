@@ -16,7 +16,13 @@ from typing import Any, Iterable
 from repro.sim.clock import RoundInfo, Schedule
 from repro.sim.messages import Envelope
 
-__all__ = ["RoundRecord", "Execution", "COMPROMISED", "RECOVERED"]
+__all__ = [
+    "RoundRecord",
+    "CompactRoundRecord",
+    "Execution",
+    "COMPROMISED",
+    "RECOVERED",
+]
 
 COMPROMISED = "compromised"
 RECOVERED = "recovered"
@@ -24,11 +30,46 @@ RECOVERED = "recovered"
 
 @dataclass(frozen=True)
 class RoundRecord:
-    """Everything that happened in one round."""
+    """Everything that happened in one round.
+
+    Records are read-only in both letter and spirit: with the zero-copy
+    perf flag on, ``delivered`` shares the delivery plan's own lists
+    instead of per-receiver tuples, so mutating a record would corrupt
+    the transcript.
+    """
 
     info: RoundInfo
     sent: tuple[Envelope, ...]
     delivered: dict[int, tuple[Envelope, ...]]
+    broken: frozenset[int]
+    operational: frozenset[int]
+    unreliable_links: frozenset[frozenset[int]]
+
+    @property
+    def sent_count(self) -> int:
+        return len(self.sent)
+
+    @property
+    def delivered_count(self) -> int:
+        return sum(len(envelopes) for envelopes in self.delivered.values())
+
+
+@dataclass(frozen=True)
+class CompactRoundRecord:
+    """A round record that keeps counts instead of envelopes.
+
+    Produced when ``PerfConfig.compact_records`` is on (benchmark-sweep
+    mode): the status fields analyses need (broken / operational /
+    unreliable links, and the traffic *volumes*) survive, while the
+    envelopes themselves are dropped the moment the round ends.  Runs in
+    this mode remain comparable to full-mode runs through the streaming
+    :class:`~repro.analysis.digest.RoundsDigest`
+    (``Runner(stream_digest=True)``).
+    """
+
+    info: RoundInfo
+    sent_count: int
+    delivered_count: int
     broken: frozenset[int]
     operational: frozenset[int]
     unreliable_links: frozenset[frozenset[int]]
@@ -47,6 +88,9 @@ class Execution:
     node_outputs: list[list[tuple[int, Any]]] = field(default_factory=list)
     adversary_output: list[Any] = field(default_factory=list)
     system_log: list[tuple[int, int, str]] = field(default_factory=list)  # (round, node, event)
+    # set by Runner(stream_digest=True): the streaming per-round canonical
+    # digest (see repro.analysis.digest.RoundsDigest)
+    rounds_digest: str | None = None
 
     # -- views ---------------------------------------------------------------
 
@@ -98,9 +142,9 @@ class Execution:
     def messages_sent(self, rounds: Iterable[int] | None = None) -> int:
         """Total envelopes placed on the links (optionally restricted)."""
         if rounds is None:
-            return sum(len(rec.sent) for rec in self.records)
+            return sum(rec.sent_count for rec in self.records)
         wanted = set(rounds)
-        return sum(len(rec.sent) for rec in self.records if rec.info.round in wanted)
+        return sum(rec.sent_count for rec in self.records if rec.info.round in wanted)
 
     def broken_in_unit(self, unit: int) -> frozenset[int]:
         """Union of broken sets over a unit's rounds."""

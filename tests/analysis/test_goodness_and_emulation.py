@@ -114,7 +114,7 @@ def test_goodness_detects_planted_forgery():
                    round_sent=target_record.info.round)
     patched = replace(
         target_record,
-        delivered={**target_record.delivered, 0: target_record.delivered[0] + (env,)},
+        delivered={**target_record.delivered, 0: tuple(target_record.delivered[0]) + (env,)},
     )
     execution.records[6] = patched
     certified = {i: dict(p.keystore.key_reprs) for i, p in enumerate(programs)}
@@ -165,7 +165,7 @@ def test_goodness_detects_rogue_key_as_bad2():
 
     execution.records[6] = _replace(
         target_record,
-        delivered={**target_record.delivered, 0: target_record.delivered[0] + (env,)},
+        delivered={**target_record.delivered, 0: tuple(target_record.delivered[0]) + (env,)},
     )
     report = classify_execution(execution, public, SCHEME, histories, T)
     assert report.classification == "BAD2"

@@ -72,7 +72,10 @@ def _records_key(execution):
         (
             record.info.round,
             record.sent,
-            sorted(record.delivered.items()),
+            # zero-copy records carry lists where full records carry
+            # tuples; content equality is what neutrality promises
+            sorted((receiver, tuple(envelopes))
+                   for receiver, envelopes in record.delivered.items()),
             sorted(record.broken),
             sorted(record.operational),
             sorted(sorted(link) for link in record.unreliable_links),
