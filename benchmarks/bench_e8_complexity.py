@@ -20,10 +20,21 @@ Two sweeps:
   n ≥ 25 uses the 2t+1 sparse relay — the paper's own prescription for
   that regime, and what keeps the layer-off baseline runnable.
 
-Both sweeps land in ``benchmarks/results/BENCH_E8.json``.  With
-``BENCH_SMOKE=1`` the sweeps shrink to CI size (timing only at n = 25)
-and the report goes to ``BENCH_E8_smoke.json``, leaving the committed
-full-sweep report alone.
+* **Message volume** — the same workload with the message-volume layer
+  (``PerfConfig.msg_volume``: receipt aggregation over the DISPERSE
+  broadcast primitive + sampled refresh-help, docs/PROTOCOLS.md §12)
+  off and on.  Unlike every other perf flag this one changes *which*
+  envelopes are sent, so the parity claim is outcome-level: the
+  :func:`~repro.analysis.digest.outcome_digest` (node outputs, system
+  log, adversary output) and the blame records
+  (``RefreshService.rejected_dealers``) must be bit-identical, while
+  messages per refreshment phase must drop ≥ 2× and wall-clock must
+  improve.
+
+All three sweeps land in ``benchmarks/results/BENCH_E8.json``.  With
+``BENCH_SMOKE=1`` the sweeps shrink to CI size (timing and volume only
+at n = 25) and the report goes to ``BENCH_E8_smoke.json``, leaving the
+committed full-sweep report alone.
 """
 
 import os
@@ -31,8 +42,9 @@ import time
 
 import pytest
 
+from repro.analysis.digest import outcome_digest
 from repro.analysis.metrics import message_stats
-from repro.perf import configure
+from repro.perf import configure, perf_config
 
 from common import build_uls_network, emit, emit_json, format_table, table_data, \
     transcript_digest
@@ -45,6 +57,11 @@ MESSAGE_NS = (6, 7) if SMOKE else (6, 7, 9, 11)
 #: (n, relay_fanout) timing points; None = full flood
 TIMING_POINTS = [(25, 2 * T + 1)] if SMOKE else \
     [(13, None), (25, 2 * T + 1), (37, 2 * T + 1)]
+#: (n, relay_fanout) message-volume points; the acceptance bar lives at
+#: the sparse n = 25 point, the full-flood n = 13 point shows the layer
+#: also wins when DISPERSE itself is dense
+VOLUME_POINTS = [(25, 2 * T + 1)] if SMOKE else \
+    [(13, None), (25, 2 * T + 1)]
 
 
 def run_variant(n: int, relay_fanout, seed: int = 0):
@@ -78,6 +95,39 @@ def run_timed(n: int, relay_fanout, enabled: bool, seed: int = 0):
         configure(enabled=True)
 
 
+def run_volume(n: int, relay_fanout, msg_volume: bool, seed: int = 0):
+    """One full E8 execution with the perf layer on and the message-volume
+    layer forced on or off; returns
+    ``(msgs/refresh, seconds, outcome digest, rejected dealers)``.
+
+    Compact records are used so the per-channel traffic counters come from
+    ``CompactRoundRecord.sent_by_channel`` — the counter path this layer
+    added to the transcript machinery.
+    """
+    saved = (perf_config().msg_volume, perf_config().compact_records)
+    configure(enabled=True, msg_volume=msg_volume, compact_records=True)
+    try:
+        start = time.perf_counter()
+        public, programs, runner, schedule = build_uls_network(
+            n, T, seed, relay_fanout=relay_fanout
+        )
+        execution = runner.run(units=UNITS)
+        elapsed = time.perf_counter() - start
+        for program in programs:
+            assert program.keystore.history == [(1, "ok")], "refresh must succeed"
+            assert program.state.share_is_valid()
+        rejected = frozenset(
+            (i, entry)
+            for i, program in enumerate(programs)
+            for entry in program.core.refresher.rejected_dealers
+        )
+        stats = message_stats(execution)
+        return stats.per_refresh_phase, elapsed, outcome_digest(execution), rejected
+    finally:
+        # configure() edits flags in place: restore the two we touched
+        configure(enabled=True, msg_volume=saved[0], compact_records=saved[1])
+
+
 @pytest.fixture(scope="module")
 def table():
     rows = []
@@ -109,11 +159,33 @@ def timing_table():
     return rows
 
 
+@pytest.fixture(scope="module")
+def volume_table():
+    rows = []
+    for n, fanout in VOLUME_POINTS:
+        off_msgs, off_s, off_digest, off_rejected = run_volume(n, fanout, False)
+        on_msgs, on_s, on_digest, on_rejected = run_volume(n, fanout, True)
+        assert on_digest == off_digest, f"outcome drift at n={n}"
+        assert on_rejected == off_rejected, f"blame drift at n={n}"
+        rows.append((n, "full" if fanout is None else f"sparse-{fanout}",
+                     int(off_msgs), int(on_msgs), round(off_msgs / on_msgs, 2),
+                     round(off_s, 4), round(on_s, 4), "yes"))
+    # the message-volume acceptance bar: >=2x fewer msgs/refresh and a
+    # wall-clock win at every point
+    for row in rows:
+        assert row[4] >= 2.0, row
+        assert row[6] < row[5], row
+    return rows
+
+
 MESSAGE_HEADERS = ["n", "t", "full msgs/refresh", "sparse msgs/refresh",
                    "sparse/full", "full msgs/normal-round",
                    "sparse msgs/normal-round"]
 TIMING_HEADERS = ["n", "flood", "layer-off s", "layer-on s", "speedup",
                   "same transcript"]
+VOLUME_HEADERS = ["n", "flood", "volume-off msgs/refresh",
+                  "volume-on msgs/refresh", "reduction", "volume-off s",
+                  "volume-on s", "same outcomes"]
 
 
 def test_e8_message_complexity(table, benchmark):
@@ -126,7 +198,17 @@ def test_e8_message_complexity(table, benchmark):
     benchmark(lambda: run_variant(6, 2 * T + 1, seed=1))
 
 
-def test_e8_refresh_timing(table, timing_table, benchmark):
+def test_e8_msg_volume(volume_table, benchmark):
+    emit("e8_msg_volume", format_table(
+        f"E8  Refresh message volume, msg_volume layer off vs on (t={T}, "
+        f"units={UNITS}; outcome digests and rejected_dealers bit-identical)",
+        VOLUME_HEADERS,
+        volume_table,
+    ))
+    benchmark(lambda: run_volume(6, 2 * T + 1, True, seed=1)[0])
+
+
+def test_e8_refresh_timing(table, timing_table, volume_table, benchmark):
     emit("e8_refresh_timing", format_table(
         f"E8  Refresh wall-clock, perf layer off vs on (t={T}, units={UNITS}; "
         "transcripts bit-identical)",
@@ -139,6 +221,7 @@ def test_e8_refresh_timing(table, timing_table, benchmark):
         "config": {"group": "toy64", "t": T, "units": UNITS, "smoke": SMOKE},
         "message_complexity": table_data(MESSAGE_HEADERS, table),
         "refresh_timing": table_data(TIMING_HEADERS, timing_table),
+        "msg_volume": table_data(VOLUME_HEADERS, volume_table),
     })
     # the batched-refresh acceptance bar: >=2x at every timing point
     for row in timing_table:

@@ -8,18 +8,31 @@ instead of one giant one.
 The tolerance columns are computed exactly from the partition
 combinatorics; the message columns are *measured* by running a real ULS
 instance of one neighborhood (and, where feasible, of the flat network).
+With the message-volume layer in place, the flat network *is* feasible
+at the first two table points — n = 16 and n = 25 are now real runs
+(t = (n-1)/2 full-flood ULS instances), and only n ≥ 36 still comes
+from the power-law fit; a source column says which is which.  Results
+land in ``benchmarks/results/BENCH_E9.json``; ``BENCH_SMOKE=1`` keeps
+only the n = 16 flat run real.
 """
+
+import os
 
 import pytest
 
 from repro.scale.partition import PartitionPlan, flat_tolerance, simulate_cluster
 
-from common import GROUP, SCHEME, build_uls_network, emit, format_table
+from common import GROUP, SCHEME, build_uls_network, emit, emit_json, format_table, \
+    table_data
 from repro.analysis.metrics import message_stats
 
-#: flat networks we can afford to measure directly (the extrapolation
-#: anchor points for larger n)
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+#: small flat networks measured directly (fit anchor points)
 MEASURABLE_FLAT = (4, 5, 6, 7, 8, 9)
+#: table-point flat networks measured for real rather than fitted
+#: (n = 25 runs ~2 minutes at t = 12; smoke keeps just n = 16)
+MEASURED_TABLE_FLAT = (16,) if SMOKE else (16, 25)
 
 
 def measure_flat(n: int) -> float:
@@ -44,10 +57,19 @@ def fit_power_law(points: list[tuple[int, float]]):
     return lambda n: math.exp(intercept) * n ** slope, slope
 
 
+E9_HEADERS = ["n", "clusters", "sizes", "flat tolerance (~n/2)",
+              "partitioned tolerance (~n/4)",
+              "partitioned msgs/refresh (measured)", "flat msgs/refresh",
+              "flat source", "traffic saving"]
+
+
 @pytest.fixture(scope="module")
 def table():
-    flat_points = [(n, measure_flat(n)) for n in MEASURABLE_FLAT]
-    flat_estimate, exponent = fit_power_law(flat_points)
+    anchor_points = [(n, measure_flat(n)) for n in MEASURABLE_FLAT]
+    measured_flat = {n: measure_flat(n) for n in MEASURED_TABLE_FLAT}
+    # the real table-point runs double as extra fit anchors, so the
+    # extrapolation to n >= 36 rests on measurements up to n = 25
+    flat_estimate, exponent = fit_power_law(anchor_points + sorted(measured_flat.items()))
     rows = []
     cluster_cost_cache: dict[int, float] = {}
     for n in (16, 25, 36, 64, 100):
@@ -60,7 +82,7 @@ def table():
         partitioned_total = sum(
             cluster_cost_cache[len(c)] for c in plan.clusters
         )
-        flat_est = flat_estimate(n)
+        flat_cost = measured_flat.get(n, flat_estimate(n))
         rows.append((
             n,
             plan.cluster_count,
@@ -68,16 +90,18 @@ def table():
             flat_tolerance(n),
             plan.tolerance(),
             int(partitioned_total),
-            int(flat_est),
-            f"{flat_est / partitioned_total:.1f}x",
+            int(flat_cost),
+            "measured" if n in measured_flat else "fit",
+            f"{flat_cost / partitioned_total:.1f}x",
         ))
         # the paper's headline: tolerance drops to roughly a quarter...
         assert plan.tolerance() < flat_tolerance(n)
         assert plan.tolerance() + 1 >= n / 8
         # ...and the traffic saving is real and grows with n
-        assert flat_est > partitioned_total
-    rows.append((f"(flat cost fit: ~n^{exponent:.1f}, anchors n=4..9)",
-                 "", "", "", "", "", "", ""))
+        assert flat_cost > partitioned_total
+    anchors = f"n=4..9 + {','.join(str(n) for n in sorted(measured_flat))}"
+    rows.append((f"(flat cost fit: ~n^{exponent:.1f}, anchors {anchors})",
+                 "", "", "", "", "", "", "", ""))
     return rows
 
 
@@ -85,9 +109,14 @@ def test_e9_partition_tradeoff(table, benchmark):
     emit("e9_partition", format_table(
         "E9  Two-level partition (§6): tolerance ~n/2 -> ~n/4, refresh "
         "traffic = sum of small neighborhoods (measured)",
-        ["n", "clusters", "sizes", "flat tolerance (~n/2)",
-         "partitioned tolerance (~n/4)", "partitioned msgs/refresh (measured)",
-         "flat msgs/refresh (fit)", "traffic saving"],
+        E9_HEADERS,
         table,
     ))
+    emit_json("BENCH_E9_smoke" if SMOKE else "BENCH_E9", {
+        "experiment": "e9_partition",
+        "config": {"group": "toy64", "units": 2, "smoke": SMOKE,
+                   "measured_flat": list(MEASURED_TABLE_FLAT)},
+        "partition_tradeoff": table_data(E9_HEADERS, table[:-1]),
+        "fit_note": table[-1][0],
+    })
     benchmark(lambda: simulate_cluster(GROUP, SCHEME, size=4, units=2, seed=2))

@@ -21,7 +21,13 @@ import hashlib
 
 from repro.sim.messages import Envelope
 
-__all__ = ["stable_form", "transcript_digest", "RoundsDigest", "rounds_digest"]
+__all__ = [
+    "stable_form",
+    "transcript_digest",
+    "outcome_digest",
+    "RoundsDigest",
+    "rounds_digest",
+]
 
 
 def stable_form(value):
@@ -56,6 +62,27 @@ def transcript_digest(execution) -> str:
         ],
         stable_form(execution.system_log),
         stable_form(execution.node_outputs),
+        stable_form(execution.adversary_output),
+    )
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+
+def outcome_digest(execution) -> str:
+    """SHA-256 over the *protocol outcomes* of an execution: node outputs,
+    system log and adversary output — everything the paper's global output
+    contains — but not the wire traffic.
+
+    This is the parity primitive for the message-volume layer
+    (``PerfConfig.msg_volume``): unlike every other perf flag it changes
+    *which* envelopes are sent, so :func:`transcript_digest` equality is
+    impossible by construction; what must (and does) coincide is what the
+    protocols *did* — keys certified, signatures produced, alerts raised,
+    dealers rejected.  Two runs with identical outcome digests emulated
+    each other in the Definition 5 sense for a traffic-blind environment.
+    """
+    payload = (
+        stable_form(execution.node_outputs),
+        stable_form(execution.system_log),
         stable_form(execution.adversary_output),
     )
     return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()

@@ -42,13 +42,14 @@ def message_stats(execution: Execution) -> MessageStats:
     normal_rounds = 0
     for record in execution.records:
         phase = record.info.phase.value
-        by_phase[phase] = by_phase.get(phase, 0) + len(record.sent)
+        by_phase[phase] = by_phase.get(phase, 0) + record.sent_count
         if record.info.phase is Phase.REFRESH:
             refresh_rounds += 1
         elif record.info.phase is Phase.NORMAL:
             normal_rounds += 1
-        for envelope in record.sent:
-            by_channel[envelope.channel] = by_channel.get(envelope.channel, 0) + 1
+        # works on compact records too: both kinds expose sent_by_channel
+        for channel, count in record.sent_by_channel.items():
+            by_channel[channel] = by_channel.get(channel, 0) + count
     total = sum(by_phase.values())
     refresh_phases = max(1, execution.units() - 1)
     return MessageStats(

@@ -23,6 +23,8 @@ from repro.core.disperse import DisperseService
 from repro.core.keystore import KeyStore
 from repro.pds.keys import PdsPublic
 from repro.pds.transport import Accepted, Transport
+from repro.perf.config import perf_config
+from repro.perf.volume import BROADCAST
 from repro.sim.messages import Envelope
 from repro.sim.node import NodeContext
 
@@ -70,6 +72,10 @@ class AuthSendTransport(Transport):
         self.sent_count = 0
         self.rejected_count = 0
         self.accepted_log: list[tuple[int, int, Any]] = []  # (round, src, body)
+        # first round seen per time unit; the acceptance log keeps the
+        # current and previous unit only (it used to grow one entry per
+        # acceptance for the whole run — unbounded across units)
+        self._unit_first_round: dict[int, int] = {}
 
     def begin_round(self, ctx: NodeContext, inbox: list[Envelope]) -> None:
         """Run VER-CERT over this round's DISPERSE receipts.
@@ -79,6 +85,15 @@ class AuthSendTransport(Transport):
         only consumes the receipts under its tag.
         """
         self._accepted = []
+        unit = ctx.info.time_unit
+        if unit not in self._unit_first_round:
+            self._unit_first_round[unit] = ctx.info.round
+            floor = self._unit_first_round.get(unit - 1, ctx.info.round)
+            self.accepted_log = [
+                entry for entry in self.accepted_log if entry[0] >= floor
+            ]
+            for old in [u for u in self._unit_first_round if u < unit - 1]:
+                del self._unit_first_round[old]
         expected_round = ctx.info.round - self.delay
         expected_unit = self.keystore.unit
         receipts = self.disperse.receipts(self.tag)
@@ -120,6 +135,38 @@ class AuthSendTransport(Transport):
         wire = tuple(msg)
         prime_parsed(wire, msg)  # receivers parse the same object we flood
         self.disperse.send(ctx, receiver, wire, tag=self.tag)
+
+    def send_broadcast(self, ctx: NodeContext, body: Any) -> None:
+        """One certificate, one flood, every node accepts.
+
+        The message is certified with the :data:`~repro.perf.volume.BROADCAST`
+        destination sentinel — VER-CERT accepts it for any receiver — and
+        carried by a single DISPERSE broadcast flood instead of ``n-1``
+        per-destination dispersals.  Same no-op-on-φ contract as
+        :meth:`send`.
+        """
+        msg = certify(
+            self.keystore.scheme,
+            self.keystore.current,
+            message=body,
+            source=ctx.node_id,
+            destination=BROADCAST,
+            round_w=ctx.info.round,
+        )
+        if msg is None:
+            return
+        self.sent_count += 1
+        wire = tuple(msg)
+        prime_parsed(wire, msg)
+        self.disperse.broadcast(ctx, wire, tag=self.tag)
+
+    def send_to_all(self, ctx: NodeContext, body: Any) -> None:
+        """Round-wide send; under the volume layer a single broadcast
+        certificate replaces the ``n-1`` per-destination ones."""
+        if perf_config().flag("msg_volume"):
+            self.send_broadcast(ctx, body)
+        else:
+            super().send_to_all(ctx, body)
 
     def accepted(self) -> list[Accepted]:
         return list(self._accepted)

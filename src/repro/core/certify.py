@@ -32,6 +32,7 @@ from repro.perf.cache import (
     store_verify,
 )
 from repro.perf.config import perf_config, register_cache_clearer
+from repro.perf.volume import BROADCAST
 
 __all__ = [
     "CertifiedMessage",
@@ -257,8 +258,15 @@ def ver_cert(
     msg = _parse(raw)
     if msg is None:
         return None
-    # step 1: format and time
-    if msg.source != alleged_source or msg.destination != receiver:
+    # step 1: format and time.  A message signed with the BROADCAST
+    # destination is addressed to everyone: the signature still binds
+    # source, unit and round (which is what step 1's replay/reflection
+    # protection rests on), so accepting the sentinel for any receiver is
+    # sound — the per-receiver destination only ever narrowed who may
+    # accept, and the sender explicitly chose not to narrow.
+    if msg.source != alleged_source:
+        return None
+    if msg.destination != receiver and msg.destination != BROADCAST:
         return None
     if msg.unit != expected_unit or msg.round != expected_round:
         return None
@@ -338,8 +346,11 @@ def ver_cert_many(
         msg = _parse(raw)
         if msg is None:
             continue
-        # step 1: format and time
-        if msg.source != alleged_source or msg.destination != receiver:
+        # step 1: format and time (BROADCAST accepted for any receiver,
+        # exactly as in ver_cert)
+        if msg.source != alleged_source:
+            continue
+        if msg.destination != receiver and msg.destination != BROADCAST:
             continue
         if msg.unit != expected_unit or msg.round != expected_round:
             continue

@@ -122,6 +122,39 @@ class DisperseService:
         self._fanout_targets[receiver] = targets
         return targets
 
+    def _bcast_targets(self, ctx: NodeContext) -> list[int]:
+        """Relay set of a broadcast flood: the lowest ``relay_fanout`` node
+        ids other than the sender (all of them without a fanout limit) —
+        the same fixed, commonly-known choice as :meth:`_targets`, minus
+        the per-destination special-casing a broadcast doesn't have."""
+        if self.relay_fanout is None or self.relay_fanout >= ctx.n - 1:
+            targets = self._all_targets
+            if targets is None or len(targets) != ctx.n - 1:
+                targets = self._all_targets = [
+                    node for node in range(ctx.n) if node != ctx.node_id
+                ]
+            return targets
+        targets = self._fanout_targets.get(-1)
+        if targets is None:
+            targets = [node for node in range(ctx.n) if node != ctx.node_id]
+            targets = targets[: self.relay_fanout]
+            self._fanout_targets[-1] = targets
+        return targets
+
+    def broadcast(self, ctx: NodeContext, body: Any, tag: str = "") -> None:
+        """One flood addressed to *every* node: "forward body to all".
+
+        Each relay echoes a single ``bcsting`` copy to all other nodes and
+        buffers its own receipt, so every node marks the string received
+        exactly two rounds after the send — the same receipt timing as
+        :meth:`send` — at a total cost of ~``f·(n-1)`` envelopes instead
+        of the ``(n-1)·(2f-1)`` of per-destination dispersal.  Delivery
+        inherits Lemma 15 per receiver: any non-broken relay with reliable
+        links to sender and that receiver carries the string.
+        """
+        payload = ("bcst", tag, ctx.node_id, body)
+        ctx.fanout(self._bcast_targets(ctx), DISPERSE_CHANNEL, payload)
+
     def send(
         self, ctx: NodeContext, receiver: int, body: Any, tag: str = "",
         retransmit: int | None = None,
@@ -180,6 +213,44 @@ class DisperseService:
         for envelope in ctx.channel_view(inbox, DISPERSE_CHANNEL):
             payload = envelope.payload
             if not isinstance(payload, tuple) or len(payload) != 5:
+                if (
+                    isinstance(payload, tuple)
+                    and len(payload) == 4
+                    and payload[0] in ("bcst", "bcsting")
+                ):
+                    kind, tag, src, body = payload
+                    entry = key_entries.get(id(body))
+                    key = (
+                        entry[1]
+                        if entry is not None and entry[0] is body
+                        else key_miss(body)
+                    )
+                    if kind == "bcst":
+                        # a broadcast relay is also a receiver: buffer the
+                        # direct receipt (uniform +2 timing) and echo one
+                        # copy to everyone else
+                        self._buffer(round_number + 1, tag, src, body)
+                        relay_key = ("b", round_number, tag, src, key)
+                        if relay_key in relayed:
+                            continue
+                        relayed.add(relay_key)
+                        echo = ("bcsting", tag, src, body)
+                        for dst in range(n):
+                            if dst == node_id or dst == src:
+                                continue
+                            relayed_count += 1
+                            outbox_append(
+                                Envelope(
+                                    node_id, dst, DISPERSE_CHANNEL, echo,
+                                    round_number,
+                                )
+                            )
+                    else:
+                        receipt_key = (round_number, tag, src, key)
+                        if receipt_key in emitted:
+                            continue
+                        emitted.add(receipt_key)
+                        current.append((tag, src, body))
                 continue
             kind, tag, src, dst, body = payload
             if kind == "fwd":

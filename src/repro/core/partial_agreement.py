@@ -33,6 +33,7 @@ from repro.core.auth_send import AuthSendTransport
 from repro.core.certify import prime_parsed, verify_certified_body
 from repro.core.disperse import DisperseService
 from repro.perf.cache import canonical_body_key
+from repro.perf.config import perf_config
 from repro.sim.node import NodeContext
 
 __all__ = ["PartialAgreementService", "NO_VALUE"]
@@ -61,6 +62,8 @@ class _Session:
     maj_authors: frozenset[int] = frozenset()
     decided: bool = False
     verified_raws: set[Hashable] = field(default_factory=set)
+    #: time unit the session was created in (retention bookkeeping)
+    unit: int = 0
 
 
 class PartialAgreementService:
@@ -80,6 +83,10 @@ class PartialAgreementService:
         self.majority = (n + 1 + 1) // 2  # ceil((n+1)/2)
         self.sessions: dict[Hashable, _Session] = {}
         self._outputs: list[tuple[Hashable, Any]] = []
+        # raw certified messages awaiting the round's batched step-3
+        # re-dispersal (volume layer)
+        self._pa3_pending: list[Any] = []
+        self._pruned_through = -1
 
     # -- API ---------------------------------------------------------------
 
@@ -88,7 +95,10 @@ class PartialAgreementService:
         an input of our own — we only collect, forward and decide)."""
         if pa_id in self.sessions:
             return
-        session = _Session(start_round=ctx.info.round, my_input=input_value)
+        session = _Session(
+            start_round=ctx.info.round, my_input=input_value,
+            unit=ctx.info.time_unit,
+        )
         self.sessions[pa_id] = session
         if input_value is not NO_VALUE:
             session.records.setdefault(ctx.node_id, {})[_value_key(input_value)] = (
@@ -105,6 +115,7 @@ class PartialAgreementService:
 
     def on_round(self, ctx: NodeContext) -> None:
         self._outputs = []
+        self._prune(ctx.info.time_unit)
         self._ingest_step1(ctx)
         self._ingest_step3(ctx)
         for pa_id, session in self.sessions.items():
@@ -116,6 +127,34 @@ class PartialAgreementService:
             if offset >= 4:
                 session.decided = True
                 self._outputs.append((pa_id, self._step5(session)))
+        if self._pa3_pending:
+            # volume layer: ONE broadcast flood carries every certified
+            # message this node re-disperses this round, instead of a
+            # per-message × per-receiver dispersal.  Every node still
+            # receives every re-dispersed certified message — the
+            # information flow of Fig. 5 step 3 (and with it Lemma 16's
+            # equivocation-evidence propagation) is unchanged.
+            pack = ("pa3b", tuple(self._pa3_pending))
+            self._pa3_pending = []
+            self.disperse.broadcast(ctx, pack, tag=_PA3_TAG)
+
+    def _prune(self, unit: int) -> None:
+        """Drop decided sessions older than the previous time unit.
+
+        Sessions used to accumulate for the whole run (one per announced
+        key per refresh, each holding the verified-raw dedup set — the
+        largest per-unit state in the node).  Undecided sessions are never
+        dropped, whatever their age."""
+        if unit == self._pruned_through:
+            return
+        self._pruned_through = unit
+        stale = [
+            pa_id
+            for pa_id, session in self.sessions.items()
+            if session.decided and session.unit < unit - 1
+        ]
+        for pa_id in stale:
+            del self.sessions[pa_id]
 
     # -- internals ---------------------------------------------------------------
 
@@ -137,7 +176,8 @@ class PartialAgreementService:
             if session is None:
                 # a participant without an input learns of the session here
                 session = _Session(
-                    start_round=ctx.info.round - 2, my_input=NO_VALUE
+                    start_round=ctx.info.round - 2, my_input=NO_VALUE,
+                    unit=ctx.info.time_unit,
                 )
                 self.sessions[pa_id] = session
             raw = tuple(accepted.raw)
@@ -145,30 +185,42 @@ class PartialAgreementService:
             self._record(session, accepted.sender, value, raw)
 
     def _ingest_step3(self, ctx: NodeContext) -> None:
-        for _claimed_src, raw in self.disperse.receipts(_PA3_TAG):
-            if not isinstance(raw, tuple) or len(raw) != 8:
+        for _claimed_src, body in self.disperse.receipts(_PA3_TAG):
+            if not isinstance(body, tuple):
                 continue
-            inner = raw[0]
-            if not (isinstance(inner, tuple) and len(inner) == 3 and inner[0] == "pa1"):
-                continue
-            _, pa_id, value = inner
-            session = self.sessions.get(pa_id)
-            if session is None:
-                continue
-            raw_key = _value_key(raw)
-            if raw_key in session.verified_raws:
-                continue
-            session.verified_raws.add(raw_key)
-            msg = verify_certified_body(
-                self.transport.keystore.scheme,
-                self.transport.public,
-                expected_unit=self.transport.keystore.unit,
-                expected_round=session.start_round,
-                raw=raw,
-            )
-            if msg is None:
-                continue
-            self._record(session, msg.source, value, raw)
+            if len(body) == 2 and body[0] == "pa3b" and isinstance(body[1], tuple):
+                # a batched re-dispersal: the pack wrapper is unauthenticated
+                # (like any DISPERSE body), each member raw carries its own
+                # certification and goes through exactly the solo path
+                raws = body[1]
+            else:
+                raws = (body,)
+            for raw in raws:
+                if not isinstance(raw, tuple) or len(raw) != 8:
+                    continue
+                inner = raw[0]
+                if not (
+                    isinstance(inner, tuple) and len(inner) == 3 and inner[0] == "pa1"
+                ):
+                    continue
+                _, pa_id, value = inner
+                session = self.sessions.get(pa_id)
+                if session is None:
+                    continue
+                raw_key = _value_key(raw)
+                if raw_key in session.verified_raws:
+                    continue
+                session.verified_raws.add(raw_key)
+                msg = verify_certified_body(
+                    self.transport.keystore.scheme,
+                    self.transport.public,
+                    expected_unit=self.transport.keystore.unit,
+                    expected_round=session.start_round,
+                    raw=raw,
+                )
+                if msg is None:
+                    continue
+                self._record(session, msg.source, value, raw)
 
     def _cheaters(self, session: _Session) -> set[int]:
         return {author for author, values in session.records.items() if len(values) > 1}
@@ -189,10 +241,16 @@ class PartialAgreementService:
                 session.maj_authors = frozenset(authors)
                 break
         # step 3: re-disperse the certified messages of MAJ members
+        batched = perf_config().flag("msg_volume")
         for author in session.maj_authors:
             for value, raw in session.records[author].values():
                 if raw is None:
                     continue  # own input has no certified form
+                if batched:
+                    # collected across every session deciding this round;
+                    # on_round flushes them as one broadcast flood
+                    self._pa3_pending.append(raw)
+                    continue
                 for receiver in range(self.n):
                     if receiver != ctx.node_id:
                         self.disperse.send(ctx, receiver, raw, tag=_PA3_TAG)

@@ -482,3 +482,10 @@ class UlsProgram(NodeProgram):
                 message, unit = self._pending.pop(message_bytes)
                 self.signatures[(message, unit)] = signature
                 ctx.output(("signed", message, unit))
+        # failed signings used to leave their _pending entries behind for
+        # the whole run (unbounded under a request stream); drop them with
+        # an explicit outcome instead
+        for message_bytes in self.core.signer.failed():
+            if message_bytes in self._pending:
+                message, unit = self._pending.pop(message_bytes)
+                ctx.output(("sign-failed", message, unit))

@@ -82,9 +82,17 @@ class DkgUGenProgram(NodeProgram):
         # keeps per-dealer verdicts identical to checking each in turn
         deals: list[tuple[int, FeldmanCommitment, int]] = []
         for envelope in inbox:
-            if envelope.channel != _DKG_CHANNEL or envelope.payload[0] != "deal":
+            payload = envelope.payload
+            # defensive: the set-up is reliable by assumption, but a
+            # malformed payload must not crash the combine step
+            if (
+                envelope.channel != _DKG_CHANNEL
+                or not isinstance(payload, tuple)
+                or len(payload) != 3
+                or payload[0] != "deal"
+            ):
                 continue
-            _, elements, share_value = envelope.payload
+            _, elements, share_value = payload
             deals.append(
                 (envelope.sender, FeldmanCommitment(elements=tuple(elements)), share_value)
             )
@@ -151,8 +159,14 @@ class DkgUGenProgram(NodeProgram):
             ctx.broadcast(_DKG_CHANNEL, ("key", my_repr))
 
         for envelope in inbox:
-            if envelope.channel == _DKG_CHANNEL and envelope.payload[0] == "key":
-                self._peer_reprs.setdefault(envelope.sender, tuple(envelope.payload[1]))
+            payload = envelope.payload
+            if (
+                envelope.channel == _DKG_CHANNEL
+                and isinstance(payload, tuple)
+                and len(payload) == 2
+                and payload[0] == "key"
+            ):
+                self._peer_reprs.setdefault(envelope.sender, tuple(payload[1]))
 
         if (
             info.phase is Phase.NORMAL

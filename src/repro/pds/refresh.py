@@ -43,6 +43,8 @@ from repro.crypto.hashing import encode_for_hash, tagged_hash
 from repro.crypto.shamir import Share
 from repro.pds.keys import PdsNodeState
 from repro.pds.transport import Transport
+from repro.perf.config import perf_config
+from repro.perf.volume import responder_sample
 from repro.sim.node import NodeContext
 
 __all__ = ["RefreshService"]
@@ -69,6 +71,9 @@ class _Phase:
     sync_votes: dict[int, tuple[int, ...]] = field(default_factory=dict)
     need_recovery: bool = False
     requesters: set[int] = field(default_factory=set)
+    #: requesters whose recovery already failed once under sampled help —
+    #: their requests get full-fan-out treatment (volume layer)
+    escalated: set[int] = field(default_factory=set)
     zero_dealings: dict[int, _ZeroDealing] = field(default_factory=dict)
     zero_acks: dict[int, dict[int, bytes]] = field(default_factory=dict)
     my_zero_shares: list[int] | None = None
@@ -105,6 +110,9 @@ class RefreshService:
         #: every refreshment phase; ULS turns this off and calls begin()
         #: itself once Part (I) has finished
         self.auto_start = True
+        # unit whose sampled-help recovery failed; the next request
+        # escalates to full fan-out (volume layer, deterministic fallback)
+        self._escalate_from_unit: int | None = None
 
     @property
     def rounds_required(self) -> int:
@@ -278,6 +286,8 @@ class RefreshService:
     def _on_need(self, sender: int, body: tuple, phase: _Phase) -> None:
         if body[1] == phase.unit:
             phase.requesters.add(sender)
+            if len(body) >= 3 and body[2] == "esc":
+                phase.escalated.add(sender)
 
     def _on_blind(self, ctx: NodeContext, dealer: int, body: tuple, phase: _Phase) -> None:
         try:
@@ -402,7 +412,16 @@ class RefreshService:
         if not self.state.share_is_valid():
             phase.need_recovery = True
             phase.requesters.add(ctx.node_id)
-            self.transport.send_to_all(ctx, ("rf-need", phase.unit))
+            if (
+                perf_config().flag("msg_volume")
+                and self._escalate_from_unit is not None
+            ):
+                # a previous sampled-help recovery came up short: demand
+                # full fan-out this time (the layer-off behaviour)
+                phase.escalated.add(ctx.node_id)
+                self.transport.send_to_all(ctx, ("rf-need", phase.unit, "esc"))
+            else:
+                self.transport.send_to_all(ctx, ("rf-need", phase.unit))
 
     def _anchor_key(self, ctx: NodeContext) -> int | None:
         """The unchanging public key: from ROM if present (UL model),
@@ -426,9 +445,26 @@ class RefreshService:
             return  # cannot help others while own share is suspect
         public = self.state.public
         field = public.group.scalar_field
+        sampled = perf_config().flag("msg_volume")
         for requester in sorted(phase.requesters):
             if requester == ctx.node_id:
                 continue
+            # volume layer: only the 2t+1 seed-deterministic responders
+            # deal blinds for this requester, and sub-shares only travel
+            # between them (non-sampled nodes end up with empty blind maps
+            # and so send no help — the sample self-selects from public
+            # inputs).  2t+1 holders still yield t+1 honest consistent
+            # helps under t corruptions; an escalated request (a requester
+            # whose sampled recovery already failed once) gets the full
+            # fan-out of the layer-off path.
+            receivers: tuple[int, ...] | None = None
+            if sampled and requester not in phase.escalated:
+                sample = responder_sample(
+                    phase.unit, requester, public.n, public.threshold
+                )
+                if ctx.node_id not in sample:
+                    continue
+                receivers = sample
             target = requester + 1
             # b(z) = sum_{k=1..t} a_k (z^k - target^k): degree t, b(target) = 0
             coefficients = [0] * (public.threshold + 1)
@@ -447,7 +483,7 @@ class RefreshService:
             phase.blinds.setdefault(requester, {}).setdefault(
                 ctx.node_id, (commitment, my_subshare)
             )
-            for receiver in range(public.n):
+            for receiver in receivers if receivers is not None else range(public.n):
                 if receiver == ctx.node_id:
                     continue
                 self.transport.send(
@@ -520,6 +556,7 @@ class RefreshService:
 
         # 1. recover the old share if needed
         if phase.need_recovery:
+            recovered = False
             for points in phase.helps.values():
                 if len(points) < needed:
                     continue
@@ -529,7 +566,11 @@ class RefreshService:
                 if base.verify_share(group, candidate):
                     self.state.share = candidate
                     self.state.key_commitment = base
+                    recovered = True
                     break
+            # deterministic fallback of sampled help: a recovery that came
+            # up short marks the next unit's request for full fan-out
+            self._escalate_from_unit = None if recovered else phase.unit
 
         # 2. fix the qualified zero-dealings
         threshold = self.state.public.n - self.state.public.threshold

@@ -130,6 +130,8 @@ class _Session:
     #: is held by strong reference and compared with ``is`` — an id() key
     #: could be recycled after a refresh drops the old commitment.
     verify_memo: dict[int, tuple[int, Any, bool]] = field(default_factory=dict)
+    #: time unit the session was created in (retention bookkeeping)
+    unit: int = 0
 
 
 class ThresholdSigner:
@@ -155,6 +157,18 @@ class ThresholdSigner:
         #: Identical with the perf layer on or off — the batch verifier
         #: falls back to per-emitter checks on failure.
         self.rejected_partials: set[tuple[str, int]] = set()
+        # sessions used to accumulate for the whole run; finished ones are
+        # now retired after the unit following theirs.  The sid -> unit
+        # guard keeps a straggling ts-deal from resurrecting a retired
+        # session through _get_session (AUTH-SEND's round pinning makes
+        # >1-unit-late arrivals impossible; the guard makes it structural).
+        self._retired: dict[str, int] = {}
+        self._pruned_through = -1
+        # round-wide aggregation buffers of the volume layer: one plural
+        # body per node per round instead of one send_to_all per session
+        self._agg_acks: list[tuple] = []
+        self._agg_reveals: list[tuple] = []
+        self._agg_partials: list[tuple] = []
 
     # -- public API -------------------------------------------------------
 
@@ -169,7 +183,11 @@ class ThresholdSigner:
         sid = _session_id(message_bytes)
         session = self.sessions.get(sid)
         if session is None:
-            session = _Session(message_bytes=message_bytes, start_round=ctx.info.round)
+            self._retired.pop(sid, None)  # an explicit request reopens
+            session = _Session(
+                message_bytes=message_bytes, start_round=ctx.info.round,
+                unit=ctx.info.time_unit,
+            )
             self.sessions[sid] = session
         session.contributor = True
         if not session.dealt and ctx.info.round == session.start_round:
@@ -193,6 +211,7 @@ class ThresholdSigner:
     def on_round(self, ctx: NodeContext) -> None:
         self._completed = []
         self._failed = []
+        self._prune(ctx.info.time_unit)
         self._ingest(ctx)
         delay = self.transport.delay
         for sid, session in list(self.sessions.items()):
@@ -219,6 +238,34 @@ class ThresholdSigner:
             if not session.done and offset >= self.deadline_steps * delay:
                 session.failed = True
                 self._failed.append(session.message_bytes)
+        # volume layer: flush the round's per-session bodies as one plural
+        # message each.  request()/_deal run after on_round in the owner's
+        # round order, so dealings stay immediate (their shares are
+        # per-receiver private values anyway and are never aggregated).
+        if self._agg_acks:
+            self.transport.send_to_all(ctx, ("ts-acks", tuple(self._agg_acks)))
+            self._agg_acks = []
+        if self._agg_reveals:
+            self.transport.send_to_all(ctx, ("ts-reveals", tuple(self._agg_reveals)))
+            self._agg_reveals = []
+        if self._agg_partials:
+            self.transport.send_to_all(ctx, ("ts-partials", tuple(self._agg_partials)))
+            self._agg_partials = []
+
+    def _prune(self, unit: int) -> None:
+        """Retire finished sessions older than the previous time unit."""
+        if unit == self._pruned_through:
+            return
+        self._pruned_through = unit
+        stale = [
+            sid
+            for sid, session in self.sessions.items()
+            if (session.done or session.failed) and session.unit < unit - 1
+        ]
+        for sid in stale:
+            self._retired[sid] = self.sessions.pop(sid).unit
+        for sid in [s for s, u in self._retired.items() if u < unit - 2]:
+            del self._retired[sid]
 
     # -- inbound ------------------------------------------------------------
 
@@ -236,14 +283,33 @@ class ThresholdSigner:
                 self._on_reveal(ctx, accepted.sender, body)
             elif kind == "ts-partial":
                 self._on_partial(accepted.sender, body)
+            elif kind == "ts-acks":
+                # plural forms: each item goes through exactly its solo
+                # handler, so acceptance/blame behaviour is identical
+                for item in body[1] if isinstance(body[1], tuple) else ():
+                    if isinstance(item, tuple) and len(item) == 2:
+                        self._on_ack(accepted.sender, ("ts-ack",) + item)
+            elif kind == "ts-reveals":
+                for item in body[1] if isinstance(body[1], tuple) else ():
+                    if isinstance(item, tuple) and len(item) == 3:
+                        self._on_reveal(ctx, accepted.sender, ("ts-reveal",) + item)
+            elif kind == "ts-partials":
+                for item in body[1] if isinstance(body[1], tuple) else ():
+                    if isinstance(item, tuple) and len(item) == 4:
+                        self._on_partial(accepted.sender, ("ts-partial",) + item)
 
-    def _get_session(self, ctx: NodeContext, sid: str, message_bytes: bytes) -> _Session:
+    def _get_session(
+        self, ctx: NodeContext, sid: str, message_bytes: bytes
+    ) -> _Session | None:
         session = self.sessions.get(sid)
         if session is None:
+            if sid in self._retired:
+                return None  # finished and pruned; do not resurrect
             # we learn of the session one transport delay after it started
             session = _Session(
                 message_bytes=message_bytes,
                 start_round=ctx.info.round - self.transport.delay,
+                unit=ctx.info.time_unit,
             )
             self.sessions[sid] = session
         return session
@@ -256,6 +322,8 @@ class ThresholdSigner:
         if not isinstance(message_bytes, bytes) or _session_id(message_bytes) != sid:
             return
         session = self._get_session(ctx, sid, message_bytes)
+        if session is None:
+            return
         if dealer in session.dealings:
             return  # first dealing wins
         commitment = FeldmanCommitment(elements=tuple(elements))
@@ -363,7 +431,10 @@ class ThresholdSigner:
                 commit_hash = _commit_hash(dealing.commitment.elements)
                 ack_list.append((dealer, commit_hash))
                 session.acks.setdefault(dealer, {})[ctx.node_id] = commit_hash
-        self.transport.send_to_all(ctx, ("ts-ack", sid, tuple(ack_list)))
+        if perf_config().flag("msg_volume"):
+            self._agg_acks.append((sid, tuple(ack_list)))
+        else:
+            self.transport.send_to_all(ctx, ("ts-ack", sid, tuple(ack_list)))
 
     def _fix_qual(self, session: _Session) -> None:
         threshold = self.state.public.n - self.state.public.threshold
@@ -389,9 +460,14 @@ class ThresholdSigner:
         if not missing:
             return
         commitment = session.dealings[ctx.node_id].commitment
-        self.transport.send_to_all(
-            ctx, ("ts-reveal", sid, tuple(missing), tuple(commitment.elements))
-        )
+        if perf_config().flag("msg_volume"):
+            self._agg_reveals.append(
+                (sid, tuple(missing), tuple(commitment.elements))
+            )
+        else:
+            self.transport.send_to_all(
+                ctx, ("ts-reveal", sid, tuple(missing), tuple(commitment.elements))
+            )
 
     def _send_partial(self, ctx: NodeContext, sid: str, session: _Session) -> None:
         session.partial_sent = True
@@ -416,9 +492,12 @@ class ThresholdSigner:
         # the nonce shares have served their purpose: erase them (§6)
         session.my_nonce_shares = None
         self.state.erasure_log.append((self.state.unit, f"nonce:{sid}"))
-        body = ("ts-partial", sid, self.state.share_index, qual, s_value)
         session.partials.setdefault(self.state.share_index, (qual, s_value))
-        self.transport.send_to_all(ctx, body)
+        if perf_config().flag("msg_volume"):
+            self._agg_partials.append((sid, self.state.share_index, qual, s_value))
+        else:
+            body = ("ts-partial", sid, self.state.share_index, qual, s_value)
+            self.transport.send_to_all(ctx, body)
 
     # -- combination --------------------------------------------------------------
 

@@ -92,6 +92,16 @@ class Transport(ABC):
             if receiver != ctx.node_id:
                 self.send(ctx, receiver, body)
 
+    def send_broadcast(self, ctx: NodeContext, body: Any) -> None:
+        """Round-wide send: ``body`` to every other node.
+
+        Semantically identical to :meth:`send_to_all` (and that is the
+        default implementation); transports with a cheaper round-wide
+        primitive override it.  The same consistency caveat applies — this
+        is a *cost* optimization, not a consistent broadcast.
+        """
+        self.send_to_all(ctx, body)
+
 
 class DirectTransport(Transport):
     """Messages travel on the raw links, one round of delay.

@@ -37,8 +37,12 @@ from repro.perf.config import (
     register_cache_clearer,
 )
 from repro.perf.fixed_base import FixedBaseWindow
+from repro.perf.volume import BROADCAST, responder_sample, sample_size
 
 __all__ = [
+    "BROADCAST",
+    "responder_sample",
+    "sample_size",
     "PerfConfig",
     "perf_config",
     "configure",

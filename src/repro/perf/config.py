@@ -68,12 +68,24 @@ class PerfConfig:
     #: benchmark-sweep mode: round records keep counts, not envelopes
     #: (off by default — analyses that read record.sent need full records)
     compact_records: bool = False
+    # -- the message-volume layer (refresh/DKG wire traffic) -----------------
+    #: receipt aggregation (broadcast-certified round-wide messages, batched
+    #: PA step-3 re-dispersal, plural threshold-signer bodies) and sampled
+    #: need/help responders with deterministic escalation.  Unlike every
+    #: other flag this one changes *which* envelopes cross the wire, so it
+    #: is parity-checked at the protocol-outcome level (rejected sets, key
+    #: histories, ``outcome_digest``) rather than by transcript digest —
+    #: and it defaults to off.
+    msg_volume: bool = False
 
     def flag(self, name: str) -> bool:
         return self.enabled and bool(getattr(self, name))
 
 
-_CONFIG = PerfConfig(enabled=os.environ.get("REPRO_PERF", "1") != "0")
+_CONFIG = PerfConfig(
+    enabled=os.environ.get("REPRO_PERF", "1") != "0",
+    msg_volume=os.environ.get("REPRO_MSG_VOLUME", "0") == "1",
+)
 
 _CLEARERS: list[Callable[[], None]] = []
 

@@ -243,6 +243,10 @@ class Runner:
                 info, sent, delivered, broken, operational, unreliable
             )
         if compact:
+            sent_by_channel: dict[str, int] = {}
+            for envelope in sent:
+                channel = envelope.channel
+                sent_by_channel[channel] = sent_by_channel.get(channel, 0) + 1
             record: Any = CompactRoundRecord(
                 info=info,
                 sent_count=len(sent),
@@ -250,6 +254,7 @@ class Runner:
                 broken=broken,
                 operational=operational,
                 unreliable_links=unreliable,
+                sent_by_channel=sent_by_channel,
             )
         else:
             record = RoundRecord(

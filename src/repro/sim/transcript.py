@@ -53,6 +53,14 @@ class RoundRecord:
     def delivered_count(self) -> int:
         return sum(len(envelopes) for envelopes in self.delivered.values())
 
+    @property
+    def sent_by_channel(self) -> dict[str, int]:
+        """Envelope counts per channel (computed from ``sent``)."""
+        counts: dict[str, int] = {}
+        for envelope in self.sent:
+            counts[envelope.channel] = counts.get(envelope.channel, 0) + 1
+        return counts
+
 
 @dataclass(frozen=True)
 class CompactRoundRecord:
@@ -73,6 +81,9 @@ class CompactRoundRecord:
     broken: frozenset[int]
     operational: frozenset[int]
     unreliable_links: frozenset[frozenset[int]]
+    #: envelope counts per channel — the message-volume benchmarks read
+    #: traffic composition without keeping the envelopes themselves
+    sent_by_channel: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass

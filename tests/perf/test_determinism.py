@@ -92,9 +92,12 @@ def _assert_same_execution(left, right):
 
 
 def test_perf_layer_is_transcript_neutral_benign(perf):
-    configure(enabled=True, fixed_base_min_bits=1)  # engage every path
+    # msg_volume is pinned off on both sides: it is the one flag that is
+    # *not* transcript-neutral by design (outcome-level parity instead,
+    # see test_msg_volume.py) — and enabled=False would mask it anyway
+    configure(enabled=True, fixed_base_min_bits=1, msg_volume=False)
     optimized = _run_uls(PassiveAdversary)
-    configure(enabled=False)
+    configure(enabled=False, msg_volume=False)
     baseline = _run_uls(PassiveAdversary)
     _assert_same_execution(optimized, baseline)
 
@@ -105,9 +108,9 @@ def test_perf_layer_is_transcript_neutral_under_attack(perf):
             BreakinPlan(victims={1: frozenset({2}), 2: frozenset({4})})
         )
 
-    configure(enabled=True, fixed_base_min_bits=1)
+    configure(enabled=True, fixed_base_min_bits=1, msg_volume=False)
     optimized = _run_uls(adversary)
-    configure(enabled=False)
+    configure(enabled=False, msg_volume=False)
     baseline = _run_uls(adversary)
     _assert_same_execution(optimized, baseline)
 

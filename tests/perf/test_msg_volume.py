@@ -1,0 +1,369 @@
+"""The message-volume layer (``PerfConfig.msg_volume``): parity & fallback.
+
+The layer changes *which* envelopes carry the refresh/DKG protocols —
+receipt aggregation over the DISPERSE broadcast primitive, plural
+threshold-signer rounds, sampled refresh-help — so unlike every other
+perf flag, transcript-digest parity is impossible by construction.  What
+these tests pin down instead is the contract docs/PROTOCOLS.md §12
+states:
+
+* **outcome parity** — node outputs, system log, blame records
+  (``rejected_dealers`` / ``rejected_partials``), key histories and
+  certified key reprs are bit-identical with the layer on or off, under
+  seeded E13-style chaos as well as in the all-honest case;
+* **volume** — messages per refreshment phase drop ≥ 2× even at small n;
+* **deterministic fallback** — a requester whose sampled-help recovery
+  came up short escalates to the full fan-out (the layer-off path) at
+  its next request, and recovers;
+* **broadcast certification** — the ``BROADCAST`` destination sentinel
+  is accepted for any receiver while every other step-1 rejection is
+  unchanged;
+* **bounded state** — the per-unit ingest state that used to grow for
+  the whole run (PA sessions, signer sessions, the AUTH-SEND accepted
+  log, ULS pending signatures) stays O(active units) across many
+  refreshes.
+"""
+
+import pytest
+
+from repro.analysis.digest import outcome_digest
+from repro.analysis.metrics import message_stats
+from repro.core.certify import certify, ver_cert, ver_cert_many
+from repro.core.uls import UlsProgram, _O_PART2, build_uls_states, uls_schedule
+from repro.crypto.group import named_group
+from repro.crypto.schnorr import SchnorrScheme
+from repro.crypto.shamir import Share
+from repro.faults import FaultInjectionAdversary, FaultPlan
+from repro.pds.refresh import RefreshService
+from repro.perf import BROADCAST, configure, responder_sample, sample_size
+from repro.sim.adversary_api import Adversary, PassiveAdversary, faithful_delivery
+from repro.sim.clock import Phase
+from repro.sim.runner import ULRunner
+
+GROUP = named_group("toy64")
+SCHEME = SchnorrScheme(GROUP)
+
+
+def _run_uls(n, t, seed, adversary=None, units=2, normal_rounds=12):
+    public, states, keys = build_uls_states(GROUP, SCHEME, n, t, seed=seed)
+    programs = [
+        UlsProgram(states[i], SCHEME, keys[i], cert_retransmit=1, cert_grace_rounds=1)
+        for i in range(n)
+    ]
+    schedule = uls_schedule(normal_rounds=normal_rounds)
+    runner = ULRunner(programs, adversary or PassiveAdversary(), schedule,
+                      s=t, seed=seed)
+    execution = runner.run(units=units)
+    return programs, execution
+
+
+def _outcomes(programs, execution):
+    return (
+        execution.global_output(),
+        [frozenset(p.core.refresher.rejected_dealers) for p in programs],
+        [frozenset(p.core.signer.rejected_partials) for p in programs],
+        [list(p.keystore.history) for p in programs],
+        [dict(p.keystore.key_reprs) for p in programs],
+    )
+
+
+# ------------------------------------------------------- responder sample
+
+def test_responder_sample_deterministic_and_bounded():
+    n, t = 25, 5
+    sample = responder_sample(3, 7, n, t)
+    assert sample == responder_sample(3, 7, n, t)
+    assert len(sample) == sample_size(n, t) == 2 * t + 1
+    assert 7 not in sample
+    assert all(0 <= node < n for node in sample)
+    assert sample == tuple(sorted(sample))
+    # different (unit, requester) pairs draw different samples
+    assert sample != responder_sample(4, 7, n, t)
+    assert sample != responder_sample(3, 8, n, t)
+
+
+def test_responder_sample_small_networks_fall_back_to_everyone():
+    # when 2t+1 >= n-1 the sample is simply everyone but the requester
+    assert responder_sample(1, 2, 5, 2) == (0, 1, 3, 4)
+    assert sample_size(5, 2) == 4
+
+
+# ------------------------------------------------- broadcast certification
+
+def test_broadcast_destination_accepted_for_any_receiver(perf):
+    public, states, keys = build_uls_states(GROUP, SCHEME, 5, 2, seed=9)
+    raw = tuple(certify(SCHEME, keys[0], ("payload",), 0, BROADCAST, 4))
+    for receiver in range(1, 5):
+        accepted = ver_cert(SCHEME, public, receiver, 0, 0, 4, raw)
+        assert accepted is not None
+        assert accepted.message == ("payload",)
+    # time/source checks are untouched: replays and forgeries still die
+    assert ver_cert(SCHEME, public, 1, 0, 0, 5, raw) is None  # wrong round
+    assert ver_cert(SCHEME, public, 1, 0, 1, 4, raw) is None  # wrong unit
+    assert ver_cert(SCHEME, public, 1, 2, 0, 4, raw) is None  # wrong source
+
+
+def test_point_to_point_destination_still_narrow(perf):
+    public, states, keys = build_uls_states(GROUP, SCHEME, 5, 2, seed=9)
+    raw = tuple(certify(SCHEME, keys[0], ("payload",), 0, 2, 4))
+    assert ver_cert(SCHEME, public, 2, 0, 0, 4, raw) is not None
+    assert ver_cert(SCHEME, public, 3, 0, 0, 4, raw) is None
+
+
+def test_ver_cert_many_matches_ver_cert_on_broadcast(perf):
+    public, states, keys = build_uls_states(GROUP, SCHEME, 5, 2, seed=9)
+    bcast = tuple(certify(SCHEME, keys[0], ("b",), 0, BROADCAST, 4))
+    direct = tuple(certify(SCHEME, keys[1], ("d",), 1, 3, 4))
+    items = [(0, bcast), (1, direct), (2, bcast)]
+    for receiver in (2, 3):
+        batched = ver_cert_many(SCHEME, public, receiver, 0, 4, items)
+        single = [
+            ver_cert(SCHEME, public, receiver, source, 0, 4, raw)
+            for source, raw in items
+        ]
+        assert [m is not None for m in batched] == [m is not None for m in single]
+    # the mis-attributed broadcast (alleged source 2, signed by 0) is rejected
+    assert ver_cert_many(SCHEME, public, 2, 0, 4, items)[2] is None
+
+
+# --------------------------------------------------- volume + outcome parity
+
+def test_msgs_per_refresh_halved_with_identical_outcomes(perf):
+    configure(enabled=True, msg_volume=False)
+    programs_off, execution_off = _run_uls(7, 2, seed=5)
+    off = message_stats(execution_off).per_refresh_phase
+    outcomes_off = _outcomes(programs_off, execution_off)
+    digest_off = outcome_digest(execution_off)
+
+    configure(enabled=True, msg_volume=True)
+    programs_on, execution_on = _run_uls(7, 2, seed=5)
+    on = message_stats(execution_on).per_refresh_phase
+    outcomes_on = _outcomes(programs_on, execution_on)
+    digest_on = outcome_digest(execution_on)
+
+    assert on * 2 <= off, (on, off)
+    assert digest_on == digest_off
+    assert outcomes_on == outcomes_off
+    for program in programs_on:
+        assert program.keystore.history == [(1, "ok")]
+        assert program.state.share_is_valid()
+
+
+@pytest.mark.parametrize("seed", [101, 113, 17])
+def test_chaos_outcome_parity(perf, seed):
+    """E13-style chaos: break-ins, drops and forgeries from a seeded fault
+    plan produce identical protocol outcomes with the layer on or off."""
+    schedule = uls_schedule()
+    plan = FaultPlan.generate(seed=seed, n=5, t=2, schedule=schedule, units=3)
+
+    def run():
+        public, states, keys = build_uls_states(GROUP, SCHEME, 5, 2, seed=seed)
+        programs = [
+            UlsProgram(states[i], SCHEME, keys[i], cert_retransmit=1,
+                       cert_grace_rounds=1)
+            for i in range(5)
+        ]
+        runner = ULRunner(programs, FaultInjectionAdversary(plan), schedule,
+                          s=2, seed=seed)
+        execution = runner.run(units=3)
+        return _outcomes(programs, execution)
+
+    configure(enabled=True, msg_volume=True)
+    outcomes_on = run()
+    configure(enabled=True, msg_volume=False)
+    outcomes_off = run()
+    assert outcomes_on == outcomes_off
+
+
+# -------------------------------------------------- sampled-help escalation
+
+class _HelpBlocker(Adversary):
+    """Corrupts one node's share during unit 0, then starves its unit-1
+    share recovery by dropping everything addressed to it from the
+    recovery steps of that refresh phase on (the commitment sync still
+    arrives; the help values never do)."""
+
+    def __init__(self, victim: int) -> None:
+        self.victim = victim
+        self._corrupted = False
+
+    def on_round(self, api, info, traffic):
+        if (
+            not self._corrupted
+            and info.phase is Phase.NORMAL
+            and info.time_unit == 0
+        ):
+            self._corrupted = True
+            program = api.break_into(self.victim)
+            share = program.core.state.share
+            program.core.state.share = Share(
+                x=share.x, value=(share.value + 1) % GROUP.q
+            )
+            api.leave(self.victim)
+
+    def deliver(self, api, info, traffic):
+        plan = faithful_delivery(traffic, api.n)
+        if (
+            info.phase is Phase.REFRESH
+            and info.time_unit == 1
+            and info.index_in_phase >= _O_PART2 + 3
+        ):
+            plan[self.victim] = []
+        return plan
+
+
+def _run_escalation(msg_volume: bool, spy_needs, spy_blinds):
+    configure(enabled=True, msg_volume=msg_volume)
+    needs, blinds = [], []
+    spy_needs.append(needs)
+    spy_blinds.append(blinds)
+    programs, execution = _run_uls(
+        7, 2, seed=23, adversary=_HelpBlocker(victim=6), units=3
+    )
+    return programs, execution, needs, blinds
+
+
+@pytest.fixture
+def refresh_spies(monkeypatch):
+    """Record every accepted rf-need body and every accepted blind's
+    (unit, requester, dealer) across all nodes, per run."""
+    need_runs: list[list] = []
+    blind_runs: list[list] = []
+    original_need = RefreshService._on_need
+    original_blind = RefreshService._on_blind
+
+    def spy_need(self, sender, body, phase):
+        if need_runs:
+            need_runs[-1].append(tuple(body))
+        return original_need(self, sender, body, phase)
+
+    def spy_blind(self, ctx, dealer, body, phase):
+        if blind_runs:
+            blind_runs[-1].append((body[1], body[2], dealer))
+        return original_blind(self, ctx, dealer, body, phase)
+
+    monkeypatch.setattr(RefreshService, "_on_need", spy_need)
+    monkeypatch.setattr(RefreshService, "_on_blind", spy_blind)
+    return need_runs, blind_runs
+
+
+def test_sampled_help_escalates_to_full_fanout(perf, refresh_spies):
+    need_runs, blind_runs = refresh_spies
+    programs, execution, needs, blinds = _run_escalation(
+        True, need_runs, blind_runs
+    )
+    victim = programs[6]
+    # unit 1: recovery starved -> failed + alert; the layer marks the unit
+    assert 1 in victim.core.alert_units
+    # unit 2: the request escalated to full fan-out...
+    assert ("rf-need", 2, "esc") in needs
+    assert ("rf-need", 1, "esc") not in needs
+    # ...visible in who dealt blinds: the unit-1 request drew only the
+    # 2t+1 sampled responders, the escalated unit-2 request drew everyone
+    dealers_by_unit = {
+        unit: {dealer for u, requester, dealer in blinds
+               if u == unit and requester == 6}
+        for unit in (1, 2)
+    }
+    assert dealers_by_unit[1] == set(responder_sample(1, 6, 7, 2))
+    assert len(dealers_by_unit[1]) == 5
+    assert dealers_by_unit[2] == set(range(6))
+    # ...and the node is whole again
+    assert victim.state.share_is_valid()
+    assert victim.core.refresher._escalate_from_unit is None
+    assert 2 not in victim.core.alert_units
+
+
+def test_escalation_scenario_outcome_parity(perf, refresh_spies):
+    """The same starved-recovery scenario ends identically either way:
+    failed at unit 1, recovered at unit 2 — escalation restores exactly
+    the layer-off liveness."""
+    need_runs, blind_runs = refresh_spies
+    programs_on, execution_on, needs_on, _ = _run_escalation(
+        True, need_runs, blind_runs
+    )
+    outcomes_on = _outcomes(programs_on, execution_on)
+    programs_off, execution_off, needs_off, _ = _run_escalation(
+        False, need_runs, blind_runs
+    )
+    outcomes_off = _outcomes(programs_off, execution_off)
+    assert outcomes_on == outcomes_off
+    assert outcome_digest(execution_on) == outcome_digest(execution_off)
+    # layer-off never escalates (every request is full fan-out already)
+    assert not any(len(body) >= 3 and body[2] == "esc" for body in needs_off)
+
+
+# ------------------------------------------------------------ bounded state
+
+def test_per_unit_state_stays_bounded_across_refreshes(perf):
+    configure(enabled=True, msg_volume=True)
+    n, units = 5, 4
+    programs, execution = _run_uls(5, 2, seed=11, units=units)
+    last = units - 1
+    for program in programs:
+        core = program.core
+        # refresh phases completed clean and released their state
+        assert program.keystore.history == [(u, "ok") for u in range(1, units)]
+        assert core.refresher._phase is None
+        # PA: decided sessions older than the previous unit are gone
+        assert core.pa.sessions, "sanity: PA ran"
+        assert all(
+            session.unit >= last - 1 or not session.decided
+            for session in core.pa.sessions.values()
+        )
+        assert len(core.pa.sessions) <= 2 * n
+        # signer: done/failed sessions retire after one unit of grace
+        assert core.signer.sessions, "sanity: signer ran"
+        assert all(
+            session.unit >= last - 1
+            for session in core.signer.sessions.values()
+            if session.done or session.failed
+        )
+        assert len(core.signer.sessions) <= 2 * n + 2
+        assert all(u >= last - 2 for u in core.signer._retired.values())
+        # AUTH-SEND: the accepted log only spans current + previous unit
+        floor = core.transport._unit_first_round.get(last - 1, 0)
+        assert all(entry[0] >= floor for entry in core.transport.accepted_log)
+        assert len(core.transport._unit_first_round) <= 2
+        # ULS: no signature request left pending forever
+        assert program._pending == {}
+
+
+def test_failed_signings_release_pending_state(perf):
+    """A signing request that can never complete is dropped from
+    ``UlsProgram._pending`` with an explicit ``sign-failed`` output
+    instead of leaking for the rest of the run."""
+    configure(enabled=True, msg_volume=True)
+    public, states, keys = build_uls_states(GROUP, SCHEME, 5, 2, seed=3)
+    programs = [
+        UlsProgram(states[i], SCHEME, keys[i], cert_retransmit=1,
+                   cert_grace_rounds=1)
+        for i in range(5)
+    ]
+    schedule = uls_schedule()
+    runner = ULRunner(programs, PassiveAdversary(), schedule, s=2, seed=3)
+    # only one node asks: t+1 = 3 partials never materialize
+    runner.add_external_input(0, schedule.first_normal_round(0), ("sign", "solo"))
+    execution = runner.run(units=2)
+    assert programs[0]._pending == {}
+    assert ("sign-failed", "solo", 0) in execution.outputs_of(0)
+    assert ("solo", 0) not in programs[0].signatures
+
+
+# ------------------------------------------------- per-channel counters
+
+def test_compact_records_carry_channel_counts(perf):
+    configure(enabled=True, msg_volume=True, compact_records=False)
+    _, full = _run_uls(5, 2, seed=7)
+    configure(enabled=True, msg_volume=True, compact_records=True)
+    _, compact = _run_uls(5, 2, seed=7)
+
+    assert len(full.records) == len(compact.records)
+    for full_record, compact_record in zip(full.records, compact.records):
+        assert full_record.sent_by_channel == compact_record.sent_by_channel
+        assert sum(compact_record.sent_by_channel.values()) == \
+            compact_record.sent_count
+    full_stats = message_stats(full)
+    compact_stats = message_stats(compact)
+    assert full_stats == compact_stats
+    assert compact_stats.by_channel  # non-trivial traffic was counted
